@@ -1,0 +1,31 @@
+"""Extension 1 — the UCL baselines the paper cites but does not run.
+
+Adds Lin et al. (k-means storage + distance preservation) and PFR
+(projector-only functional regularization) to the Table III comparison on
+one benchmark.  Expected shape: both land between Finetune and EDSR; PFR
+close to (typically below) CaSSLe; EDSR stays on top.
+"""
+
+from benchmarks.common import BASE_CONFIG, SEEDS, emit, run_seeded
+from repro.data import load_image_benchmark
+from repro.utils import format_table
+
+METHODS = ["finetune", "lin", "pfr", "cassle", "edsr"]
+
+
+def run_ext1() -> str:
+    sequence = load_image_benchmark("cifar10-like", "ci")
+    rows = []
+    for method in METHODS:
+        agg, _results = run_seeded(method, sequence, BASE_CONFIG)
+        rows.append([method, agg.acc_text(), agg.fgt_text(), f"{agg.elapsed_mean:.1f}"])
+    return format_table(
+        ["Method", "Acc", "Fgt", "Time (s)"], rows,
+        title=f"Extension 1 (CI scale, {len(SEEDS)} seeds): cited-but-unreported "
+              "UCL baselines (Lin et al., PFR)")
+
+
+def test_ext1_cited_baselines(benchmark):
+    table = benchmark.pedantic(run_ext1, rounds=1, iterations=1)
+    emit("ext1_cited_baselines", table)
+    assert "pfr" in table

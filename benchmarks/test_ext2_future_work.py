@@ -1,0 +1,41 @@
+"""Extension 2 — the paper's Sec. IV-F suggestion and a third objective.
+
+(a) Similarity-based replay sampling: "sample the stored data from the
+memory based on their similarities to the new data during replay" — the
+efficiency-effectiveness idea the paper leaves as future work, compared
+against uniform sampling at the same replay size.
+
+(b) BYOL as a third CSSL objective, extending the Table VI swap: BYOL's
+EMA-target alignment is predictor-based like SimSiam's, so distillation is
+expected to remain effective (unlike BarlowTwins).
+"""
+
+from benchmarks.common import BASE_CONFIG, SEEDS, emit, run_seeded
+from repro.data import load_image_benchmark
+from repro.utils import format_table
+
+BYOL_CONFIG = BASE_CONFIG.with_overrides(objective="byol", lr=0.03)
+
+
+def run_ext2() -> str:
+    sequence = load_image_benchmark("cifar10-like", "ci")
+    rows = []
+    for sampling in ("uniform", "similarity"):
+        config = BASE_CONFIG.with_overrides(replay_sampling=sampling)
+        agg, _results = run_seeded("edsr", sequence, config)
+        rows.append([f"edsr ({sampling} replay)", agg.acc_text(), agg.fgt_text(),
+                     f"{agg.elapsed_mean:.1f}"])
+    for method in ("finetune", "cassle", "edsr"):
+        agg, _results = run_seeded(method, sequence, BYOL_CONFIG)
+        rows.append([f"{method} (BYOL)", agg.acc_text(), agg.fgt_text(),
+                     f"{agg.elapsed_mean:.1f}"])
+    return format_table(
+        ["Variant", "Acc", "Fgt", "Time (s)"], rows,
+        title=f"Extension 2 (CI scale, {len(SEEDS)} seeds): Sec. IV-F similarity "
+              "replay + BYOL objective")
+
+
+def test_ext2_future_work(benchmark):
+    table = benchmark.pedantic(run_ext2, rounds=1, iterations=1)
+    emit("ext2_future_work", table)
+    assert "BYOL" in table

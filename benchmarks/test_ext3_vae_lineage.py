@@ -1,0 +1,40 @@
+"""Extension 3 — the VAE-based UCL lineage vs CSSL-based UCL.
+
+Tests the paper's *motivating* claim (Sec. I): VAE-based UCL methods
+(VASE/CURL style) "show a significant drop in performance on complex data
+sets" compared to CSSL-based methods.  Rows: VAE finetune and CURL-style
+generative replay vs the CSSL-based Finetune/CaSSLe/EDSR on the same
+benchmark.  Expected shape: every CSSL-based method above every VAE-based
+method, and the VAE methods forget more.
+"""
+
+from benchmarks.common import BASE_CONFIG, SEEDS, emit, run_seeded
+from repro.data import load_image_benchmark
+from repro.utils import format_table
+
+VAE_CONFIG = BASE_CONFIG.with_overrides(objective="vae", optimizer="adam",
+                                        lr=1e-3, representation_dim=16)
+
+
+def run_ext3() -> str:
+    sequence = load_image_benchmark("cifar10-like", "ci")
+    rows = []
+    for method, config, label in [
+        ("finetune", VAE_CONFIG, "VAE finetune"),
+        ("curl", VAE_CONFIG, "VAE + generative replay (CURL-style)"),
+        ("finetune", BASE_CONFIG, "CSSL finetune (SimSiam)"),
+        ("cassle", BASE_CONFIG, "CaSSLe"),
+        ("edsr", BASE_CONFIG, "EDSR"),
+    ]:
+        agg, _results = run_seeded(method, sequence, config)
+        rows.append([label, agg.acc_text(), agg.fgt_text()])
+    return format_table(
+        ["Variant", "Acc", "Fgt"], rows,
+        title=f"Extension 3 (CI scale, {len(SEEDS)} seeds): VAE-based vs "
+              "CSSL-based UCL (the paper's Sec. I claim)")
+
+
+def test_ext3_vae_lineage(benchmark):
+    table = benchmark.pedantic(run_ext3, rounds=1, iterations=1)
+    emit("ext3_vae_lineage", table)
+    assert "CURL" in table

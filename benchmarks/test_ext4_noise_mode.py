@@ -1,0 +1,35 @@
+"""Extension 4 — ablation of the r(x) interpretation (DESIGN.md note).
+
+The paper writes ``r(x) = Std({representations of the kNN})`` without
+specifying whether the std of a set of vectors is kept per-dimension or
+averaged to a scalar.  DESIGN.md documents the choice (per-dimension,
+manifold-aligned noise) — this bench measures both readings against plain
+``L_dis`` so the choice is empirical, not asserted.
+"""
+
+from benchmarks.common import BASE_CONFIG, SEEDS, emit, run_seeded
+from repro.data import load_image_benchmark
+from repro.utils import format_table
+
+
+def run_ext4() -> str:
+    sequence = load_image_benchmark("cifar10-like", "ci")
+    rows = []
+    variants = [
+        ("L_dis (no noise)", BASE_CONFIG.with_overrides(replay_loss="dis")),
+        ("L_rpl, vector r(x)", BASE_CONFIG.with_overrides(noise_mode="vector")),
+        ("L_rpl, scalar r(x)", BASE_CONFIG.with_overrides(noise_mode="scalar")),
+    ]
+    for label, config in variants:
+        agg, _results = run_seeded("edsr", sequence, config)
+        rows.append([label, agg.acc_text(), agg.fgt_text()])
+    return format_table(
+        ["Variant", "Acc", "Fgt"], rows,
+        title=f"Extension 4 (CI scale, {len(SEEDS)} seeds): per-dimension vs "
+              "isotropic noise scale r(x)")
+
+
+def test_ext4_noise_mode(benchmark):
+    table = benchmark.pedantic(run_ext4, rounds=1, iterations=1)
+    emit("ext4_noise_mode", table)
+    assert "vector" in table

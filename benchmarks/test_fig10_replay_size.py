@@ -1,0 +1,35 @@
+"""Fig. 10 — efficiency-effectiveness trade-off of the replay batch size.
+
+Memory budget fixed; the number of stored samples replayed per step sweeps
+upward.  Expected shape: time grows monotonically with replay size; Acc
+rises then falls (replaying too much stored data crowds out new learning).
+"""
+
+from benchmarks.common import BASE_CONFIG, SEEDS, emit, run_seeded
+from repro.data import load_image_benchmark
+from repro.utils import format_series
+
+REPLAY_SIZES = [0, 4, 8, 16, 32]
+
+
+def run_fig10() -> str:
+    sequence = load_image_benchmark("cifar10-like", "ci")
+    lines = [f"Fig. 10 (CI scale, {len(SEEDS)} seeds): replay batch size sweep "
+             "(memory budget fixed at 40)"]
+    times, accs, fgts = [], [], []
+    for size in REPLAY_SIZES:
+        config = BASE_CONFIG.with_overrides(memory_budget=40, replay_batch_size=size)
+        agg, _results = run_seeded("edsr", sequence, config)
+        times.append(agg.elapsed_mean)
+        accs.append(100 * agg.acc_mean)
+        fgts.append(100 * agg.fgt_mean)
+    lines.append(format_series("time (s)", REPLAY_SIZES, times, y_format="{:.1f}"))
+    lines.append(format_series("Acc     ", REPLAY_SIZES, accs, y_format="{:.2f}"))
+    lines.append(format_series("Fgt     ", REPLAY_SIZES, fgts, y_format="{:.2f}"))
+    return "\n".join(lines)
+
+
+def test_fig10_replay_size(benchmark):
+    text = benchmark.pedantic(run_fig10, rounds=1, iterations=1)
+    emit("fig10_replay_size", text)
+    assert "time" in text

@@ -1,0 +1,37 @@
+"""Fig. 6 — sensitivity to the neighbour count k in the noise scale r(x).
+
+``k = 0`` makes ``L_rpl`` collapse to ``L_dis``.  Expected shape: Acc rises
+from k=0 to a sweet spot (neighbours share features with the anchor), then
+falls as remote neighbours make the noise misleading.  CaSSLe is plotted
+flat for comparison, as in the paper.
+"""
+
+import numpy as np
+
+from benchmarks.common import BASE_CONFIG, SEEDS, emit, run_seeded
+from repro.data import load_image_benchmark
+from repro.utils import format_series
+
+NEIGHBOURS = [0, 5, 10, 30, 60, 119]
+
+
+def run_fig6() -> str:
+    sequence = load_image_benchmark("cifar10-like", "ci")
+    lines = [f"Fig. 6 (CI scale, {len(SEEDS)} seeds): Acc vs noise neighbours k"]
+    cassle_agg, _r = run_seeded("cassle", sequence, BASE_CONFIG)
+    means, stds = [], []
+    for k in NEIGHBOURS:
+        config = BASE_CONFIG.with_overrides(noise_neighbors=k)
+        agg, _results = run_seeded("edsr", sequence, config)
+        means.append(100 * agg.acc_mean)
+        stds.append(100 * agg.acc_std)
+    lines.append(format_series("edsr Acc mean", NEIGHBOURS, means, y_format="{:.2f}"))
+    lines.append(format_series("edsr Acc std ", NEIGHBOURS, stds, y_format="{:.2f}"))
+    lines.append(f"cassle (flat reference): {cassle_agg.acc_text()}")
+    return "\n".join(lines)
+
+
+def test_fig6_neighbors(benchmark):
+    text = benchmark.pedantic(run_fig6, rounds=1, iterations=1)
+    emit("fig6_neighbors", text)
+    assert "cassle" in text

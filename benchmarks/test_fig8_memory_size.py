@@ -1,0 +1,39 @@
+"""Fig. 8 — effect of the memory budget.
+
+Noise disabled (``L_dis`` replay, as the paper does here) to isolate the
+selection effect; random vs high-entropy selection across budgets.
+Expected shape: Acc grows with budget for both; the high-entropy-vs-random
+gap grows then shrinks as random selection eventually covers the data too.
+"""
+
+import numpy as np
+
+from benchmarks.common import BASE_CONFIG, SEEDS, config_for, emit, run_seeded
+from repro.data import load_image_benchmark
+from repro.utils import format_series
+
+BUDGETS = [10, 20, 40, 80]
+
+
+def run_fig8() -> str:
+    sequence = load_image_benchmark("cifar100-like", "ci")
+    lines = [f"Fig. 8 (CI scale, {len(SEEDS)} seeds): Acc vs memory budget (L_dis replay)"]
+    for selection in ("random", "high-entropy"):
+        means, stds, fgts = [], [], []
+        for budget in BUDGETS:
+            config = config_for("cifar100-like").with_overrides(
+                selection=selection, replay_loss="dis", memory_budget=budget)
+            agg, _results = run_seeded("edsr", sequence, config)
+            means.append(100 * agg.acc_mean)
+            stds.append(100 * agg.acc_std)
+            fgts.append(100 * agg.fgt_mean)
+        lines.append(format_series(f"{selection:13s} Acc", BUDGETS, means, y_format="{:.2f}"))
+        lines.append(format_series(f"{selection:13s} std", BUDGETS, stds, y_format="{:.2f}"))
+        lines.append(format_series(f"{selection:13s} Fgt", BUDGETS, fgts, y_format="{:.2f}"))
+    return "\n".join(lines)
+
+
+def test_fig8_memory_size(benchmark):
+    text = benchmark.pedantic(run_fig8, rounds=1, iterations=1)
+    emit("fig8_memory_size", text)
+    assert "high-entropy" in text

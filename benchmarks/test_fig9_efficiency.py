@@ -1,0 +1,30 @@
+"""Fig. 9 — efficiency vs effectiveness per method.
+
+One (wall-clock seconds, Acc) point per method.  Expected shape: the UCL
+methods (LUMP, CaSSLe, EDSR) spend more time and reach higher Acc than the
+SCL adaptations; within UCL, EDSR's extra time over CaSSLe buys the largest
+Acc gain.
+"""
+
+from benchmarks.common import BASE_CONFIG, SEEDS, config_for, emit, run_seeded
+from repro.data import load_image_benchmark
+from repro.utils import format_table
+
+METHODS = ["finetune", "si", "der", "lump", "cassle", "edsr"]
+
+
+def run_fig9() -> str:
+    sequence = load_image_benchmark("cifar100-like", "ci")
+    rows = []
+    for method in METHODS:
+        agg, _results = run_seeded(method, sequence, config_for("cifar100-like"))
+        rows.append([method, f"{agg.elapsed_mean:.1f}", agg.acc_text(), agg.fgt_text()])
+    return format_table(
+        ["Method", "Time (s/run)", "Acc", "Fgt"], rows,
+        title=f"Fig. 9 (CI scale, {len(SEEDS)} seeds): time vs effectiveness")
+
+
+def test_fig9_efficiency(benchmark):
+    text = benchmark.pedantic(run_fig9, rounds=1, iterations=1)
+    emit("fig9_efficiency", text)
+    assert "Time" in text

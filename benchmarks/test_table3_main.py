@@ -1,0 +1,36 @@
+"""Table III — main comparison on the four image benchmarks.
+
+Paper rows: Multitask (upper bound), Finetune, SI, DER, LUMP, CaSSLe, EDSR;
+columns: Acc (up) and Fgt (down) per dataset.  The expected shape: EDSR best
+Acc and lowest Fgt among continual methods; CaSSLe second; UCL methods ahead
+of the SCL adaptations (SI, DER); Multitask on top overall.
+"""
+
+from benchmarks.common import BASE_CONFIG, SEEDS, config_for, emit, run_multitask_seeded, run_seeded
+from repro.data import load_image_benchmark
+from repro.utils import format_table
+
+DATASETS = ["cifar10-like", "cifar100-like", "tiny-imagenet-like", "domainnet-like"]
+METHODS = ["finetune", "si", "der", "lump", "cassle", "edsr"]
+
+
+def run_table3() -> str:
+    headers = ["Model"] + [h for name in DATASETS for h in (f"{name} Acc", f"{name} Fgt")]
+    rows: dict[str, list[str]] = {name: [name] for name in ["multitask"] + METHODS}
+    for dataset in DATASETS:
+        sequence = load_image_benchmark(dataset, "ci")
+        config = config_for(dataset)
+        acc_text, fgt_text, _elapsed = run_multitask_seeded(sequence, config)
+        rows["multitask"] += [acc_text, fgt_text]
+        for method in METHODS:
+            agg, _results = run_seeded(method, sequence, config)
+            rows[method] += [agg.acc_text(), agg.fgt_text()]
+    return format_table(
+        headers, [rows[name] for name in ["multitask"] + METHODS],
+        title=f"Table III (CI scale, {len(SEEDS)} seeds): model comparison on four image benchmarks")
+
+
+def test_table3_main_comparison(benchmark):
+    table = benchmark.pedantic(run_table3, rounds=1, iterations=1)
+    emit("table3_main", table)
+    assert "edsr" in table

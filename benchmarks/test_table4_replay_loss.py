@@ -1,0 +1,40 @@
+"""Table IV — how to replay the stored data.
+
+Fixed high-entropy selection; replay loss varies: no replay (== CaSSLe),
+``L_css``, ``L_dis``, ``L_rpl``.  Expected shape: ``L_css`` *hurts* (at or
+below no-replay — over-fitting on the tiny unlabeled buffer), the
+distillation losses recover, and ``L_rpl`` matches or beats ``L_dis`` on
+the harder datasets.
+"""
+
+from benchmarks.common import BASE_CONFIG, SEEDS, config_for, emit, run_seeded
+from repro.data import load_image_benchmark
+from repro.utils import format_table
+
+DATASETS = ["cifar10-like", "cifar100-like", "tiny-imagenet-like"]
+REPLAY_VARIANTS = ["css", "dis", "rpl"]
+
+
+def run_table4() -> str:
+    headers = ["Dataset", "No Replay (CaSSLe)", "L_css", "L_dis", "L_rpl"]
+    rows = []
+    for dataset in DATASETS:
+        sequence = load_image_benchmark(dataset, "ci")
+        base = config_for(dataset)
+        agg, _r = run_seeded("cassle", sequence, base)
+        row = [dataset, agg.acc_text()]
+        for variant in REPLAY_VARIANTS:
+            config = base.with_overrides(replay_loss=variant)
+            agg, _r = run_seeded("edsr", sequence, config)
+            row.append(agg.acc_text())
+        rows.append(row)
+    return format_table(
+        headers, rows,
+        title=f"Table IV (CI scale, {len(SEEDS)} seeds): replay-loss ablation, Acc "
+              "(selection fixed to high-entropy)")
+
+
+def test_table4_replay_loss(benchmark):
+    table = benchmark.pedantic(run_table4, rounds=1, iterations=1)
+    emit("table4_replay_loss", table)
+    assert "L_rpl" in table

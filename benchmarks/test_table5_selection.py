@@ -1,0 +1,43 @@
+"""Table V — data-selection ablation, crossed with the two replay losses.
+
+Rows per dataset: Acc and Fgt for each of the five selection strategies,
+under ``L_dis`` replay (isolating selection quality) and under ``L_rpl``
+(showing the noise is compatible with every strategy).  Expected shape:
+every strategy beats no-replay; high-entropy best or tied-best; clustering
+methods inconsistent across datasets.
+"""
+
+from benchmarks.common import BASE_CONFIG, SEEDS, config_for, emit, run_seeded
+from repro.data import load_image_benchmark
+from repro.utils import format_table
+
+DATASETS = ["cifar10-like", "cifar100-like"]
+STRATEGIES = ["random", "kmeans", "min-var", "distant", "high-entropy"]
+
+
+def run_table5() -> str:
+    headers = ["Dataset", "Metric", "No Replay"] + STRATEGIES
+    rows = []
+    for dataset in DATASETS:
+        sequence = load_image_benchmark(dataset, "ci")
+        base = config_for(dataset)
+        base_agg, _r = run_seeded("cassle", sequence, base)
+        for replay in ("dis", "rpl"):
+            acc_row = [dataset, f"Acc ({replay})", base_agg.acc_text()]
+            fgt_row = [dataset, f"Fgt ({replay})", base_agg.fgt_text()]
+            for strategy in STRATEGIES:
+                config = base.with_overrides(selection=strategy, replay_loss=replay)
+                agg, _results = run_seeded("edsr", sequence, config)
+                acc_row.append(agg.acc_text())
+                fgt_row.append(agg.fgt_text())
+            rows.append(acc_row)
+            rows.append(fgt_row)
+    return format_table(
+        headers, rows,
+        title=f"Table V (CI scale, {len(SEEDS)} seeds): selection strategies x replay loss")
+
+
+def test_table5_selection(benchmark):
+    table = benchmark.pedantic(run_table5, rounds=1, iterations=1)
+    emit("table5_selection", table)
+    assert "high-entropy" in table

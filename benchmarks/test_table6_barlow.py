@@ -1,0 +1,38 @@
+"""Table VI — swapping the CSSL objective: SimSiam -> BarlowTwins.
+
+Expected shape: with BarlowTwins, the distillation-based methods degrade
+(Barlow's batch cross-correlation mixes data and models during alignment,
+Sec. IV-C3) — CaSSLe suffers most, LUMP is unaffected (no distillation),
+and EDSR still beats CaSSLe thanks to the stored data.
+"""
+
+from benchmarks.common import BASE_CONFIG, SEEDS, config_for, emit, run_multitask_seeded, run_seeded
+from repro.data import load_image_benchmark
+from repro.utils import format_table
+
+DATASETS = ["cifar10-like", "cifar100-like"]
+METHODS = ["finetune", "lump", "cassle", "edsr"]
+# Barlow's loss has a different scale; a smaller lr keeps it stable.
+BARLOW_CONFIG = BASE_CONFIG.with_overrides(objective="barlow", lr=0.02)
+
+
+def run_table6() -> str:
+    headers = ["Model"] + [f"{d} ({o})" for d in DATASETS for o in ("SimSiam", "Barlow")]
+    rows: dict[str, list[str]] = {m: [m] for m in ["multitask"] + METHODS}
+    for dataset in DATASETS:
+        sequence = load_image_benchmark(dataset, "ci")
+        for config in (config_for(dataset), config_for(dataset, BARLOW_CONFIG)):
+            acc_text, _fgt, _elapsed = run_multitask_seeded(sequence, config)
+            rows["multitask"].append(acc_text)
+            for method in METHODS:
+                agg, _results = run_seeded(method, sequence, config)
+                rows[method].append(agg.acc_text())
+    return format_table(
+        headers, [rows[m] for m in ["multitask"] + METHODS],
+        title=f"Table VI (CI scale, {len(SEEDS)} seeds): Acc with SimSiam vs BarlowTwins")
+
+
+def test_table6_barlow(benchmark):
+    table = benchmark.pedantic(run_table6, rounds=1, iterations=1)
+    emit("table6_barlow", table)
+    assert "Barlow" in table

@@ -1,0 +1,84 @@
+"""The remaining operations of the paper's example op set.
+
+Sec. II-A1 lists ``{cutout, rotate, flip, colorContrast, resize}`` as an
+example operation set ``O``.  The SimSiam pipeline (Sec. IV-A5) uses crop /
+flip / jitter / grayscale / blur, implemented in :mod:`repro.augment.image`;
+this module supplies the rest so users can compose custom ``O_sub`` subsets
+exactly as Eq. 2 describes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.augment.base import Augmentation
+
+
+class Cutout(Augmentation):
+    """Zero a random square patch per sample (DeVries & Taylor 2017)."""
+
+    def __init__(self, size: int = 2, p: float = 0.5, fill: float = 0.0):
+        if size < 1:
+            raise ValueError("cutout size must be >= 1")
+        self.size = size
+        self.p = p
+        self.fill = fill
+
+    def __call__(self, x: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        n, _c, h, w = x.shape
+        if self.size > min(h, w):
+            raise ValueError(f"cutout size {self.size} exceeds image size {(h, w)}")
+        out = x.copy()
+        apply = rng.uniform(size=n) < self.p
+        tops = rng.integers(0, h - self.size + 1, size=n)
+        lefts = rng.integers(0, w - self.size + 1, size=n)
+        for i in np.nonzero(apply)[0]:
+            out[i, :, tops[i]:tops[i] + self.size, lefts[i]:lefts[i] + self.size] = self.fill
+        return out
+
+
+class RandomRotate90(Augmentation):
+    """Rotate each sample by a random multiple of 90 degrees."""
+
+    def __init__(self, p: float = 0.5):
+        self.p = p
+
+    def __call__(self, x: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        out = x.copy()
+        apply = rng.uniform(size=len(x)) < self.p
+        quarter_turns = rng.integers(1, 4, size=len(x))
+        for i in np.nonzero(apply)[0]:
+            out[i] = np.rot90(x[i], k=quarter_turns[i], axes=(1, 2))
+        return out
+
+
+class RandomResizedZoom(Augmentation):
+    """Zoom into a random sub-window and resize back (the "resize" op).
+
+    A nearest-neighbour implementation of random-resized-crop: a scale
+    factor in ``scale_range`` picks a window size, a random offset picks its
+    position, and the window is upsampled back to the original resolution.
+    """
+
+    def __init__(self, scale_range: tuple[float, float] = (0.6, 1.0), p: float = 0.5):
+        low, high = scale_range
+        if not 0.0 < low <= high <= 1.0:
+            raise ValueError("scale_range must satisfy 0 < low <= high <= 1")
+        self.scale_range = scale_range
+        self.p = p
+
+    def __call__(self, x: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        n, _c, h, w = x.shape
+        out = x.copy()
+        apply = rng.uniform(size=n) < self.p
+        for i in np.nonzero(apply)[0]:
+            scale = rng.uniform(*self.scale_range)
+            crop_h = max(1, int(round(h * scale)))
+            crop_w = max(1, int(round(w * scale)))
+            top = int(rng.integers(0, h - crop_h + 1))
+            left = int(rng.integers(0, w - crop_w + 1))
+            window = x[i, :, top:top + crop_h, left:left + crop_w]
+            rows = np.clip((np.arange(h) * crop_h / h).astype(int), 0, crop_h - 1)
+            cols = np.clip((np.arange(w) * crop_w / w).astype(int), 0, crop_w - 1)
+            out[i] = window[:, rows][:, :, cols]
+        return out

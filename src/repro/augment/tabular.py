@@ -1,0 +1,51 @@
+"""Tabular augmentation: SCARF-style feature corruption (``tabularCrop``).
+
+Bahri et al. (SCARF, ICLR 2022): a positive view of a table row replaces a
+random subset of features with values drawn from the empirical marginal of
+each feature.  The paper adopts this as its tabular augmentation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.augment.base import Augmentation, Compose
+
+
+class TabularCrop(Augmentation):
+    """Corrupt ``corruption_rate`` of each row's features with marginal samples.
+
+    Parameters
+    ----------
+    corruption_rate:
+        Fraction of features replaced per row.
+    reference:
+        The table (N, F) providing the empirical marginals; typically the
+        current training increment.  Must be set (or passed to ``fit``)
+        before use.
+    """
+
+    def __init__(self, corruption_rate: float = 0.3, reference: np.ndarray | None = None):
+        if not 0.0 <= corruption_rate <= 1.0:
+            raise ValueError("corruption_rate must be in [0, 1]")
+        self.corruption_rate = corruption_rate
+        self.reference = None if reference is None else np.asarray(reference, dtype=np.float32)
+
+    def fit(self, reference: np.ndarray) -> "TabularCrop":
+        self.reference = np.asarray(reference, dtype=np.float32)
+        return self
+
+    def __call__(self, x: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        if self.reference is None:
+            raise RuntimeError("TabularCrop used before fit(); no marginal reference table")
+        n, f = x.shape
+        mask = rng.uniform(size=(n, f)) < self.corruption_rate
+        # independent marginal draw per (row, feature)
+        donor_rows = rng.integers(0, len(self.reference), size=(n, f))
+        marginals = self.reference[donor_rows, np.arange(f)[None, :]]
+        return np.where(mask, marginals, x).astype(x.dtype)
+
+
+def tabular_pipeline(reference: np.ndarray, corruption_rate: float = 0.3) -> Compose:
+    """The paper's tabular augmentation: a fitted ``tabularCrop``."""
+    return Compose([TabularCrop(corruption_rate, reference)])

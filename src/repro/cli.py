@@ -1,0 +1,190 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``run``      train one method on one benchmark, print Acc/Fgt and the
+             accuracy matrix, optionally save the result JSON;
+``compare``  train several methods on one benchmark and print a ranking
+             table (a single-seed Table III slice);
+``sweep``    run methods x seeds, saving one result JSON per run into a
+             directory;
+``report``   render a directory of saved results as a markdown report;
+``list``     show available benchmarks, methods, selection strategies,
+             replay losses, and objectives.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.continual import ContinualConfig, run_method, run_multitask
+from repro.data import load_image_benchmark, load_tabular_benchmark
+from repro.data.registry import IMAGE_PRESETS
+from repro.utils import format_table
+from repro.utils.serialization import save_result
+
+METHODS = ["finetune", "si", "der", "lump", "cassle", "edsr", "lin", "pfr", "curl"]
+
+
+def _load_benchmark(name: str, scale: str, n_tasks: int | None):
+    if name == "tabular":
+        return load_tabular_benchmark(scale)
+    return load_image_benchmark(name, scale, n_tasks=n_tasks)
+
+
+def _config_from_args(args: argparse.Namespace) -> ContinualConfig:
+    overrides = {}
+    for field in ("epochs", "batch_size", "lr", "memory_budget", "replay_batch_size",
+                  "noise_neighbors", "selection", "replay_loss", "objective",
+                  "replay_sampling"):
+        value = getattr(args, field, None)
+        if value is not None:
+            overrides[field] = value
+    if args.benchmark == "tabular" and "lr" not in overrides:
+        overrides.update(optimizer="adam", lr=1e-3)
+    return ContinualConfig().with_overrides(**overrides)
+
+
+def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--epochs", type=int)
+    parser.add_argument("--batch-size", dest="batch_size", type=int)
+    parser.add_argument("--lr", type=float)
+    parser.add_argument("--memory-budget", dest="memory_budget", type=int)
+    parser.add_argument("--replay-batch-size", dest="replay_batch_size", type=int)
+    parser.add_argument("--noise-neighbors", dest="noise_neighbors", type=int)
+    parser.add_argument("--selection", choices=["random", "kmeans", "min-var",
+                                                "distant", "high-entropy"])
+    parser.add_argument("--replay-loss", dest="replay_loss", choices=["css", "dis", "rpl"])
+    parser.add_argument("--replay-sampling", dest="replay_sampling",
+                        choices=["uniform", "similarity"])
+    parser.add_argument("--objective", choices=["simsiam", "barlow", "byol", "vae"])
+    parser.add_argument("--scale", default="ci", choices=["ci", "paper"])
+    parser.add_argument("--n-tasks", dest="n_tasks", type=int)
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    sequence = _load_benchmark(args.benchmark, args.scale, args.n_tasks)
+    config = _config_from_args(args)
+    if args.method == "multitask":
+        result = run_multitask(sequence, config, seed=args.seed, verbose=True)
+        print(f"Acc = {100 * result.acc():.2f}%")
+        return 0
+    result = run_method(args.method, sequence, config, seed=args.seed, verbose=True)
+    print(f"\nAcc = {100 * result.acc():.2f}%   Fgt = {100 * result.fgt():.2f}%   "
+          f"time = {result.elapsed_seconds:.1f}s")
+    with np.printoptions(precision=3, nanstr="  .  "):
+        print(result.accuracy_matrix)
+    if args.output:
+        save_result(result, args.output)
+        print(f"result written to {args.output}")
+    return 0
+
+
+def _command_compare(args: argparse.Namespace) -> int:
+    sequence = _load_benchmark(args.benchmark, args.scale, args.n_tasks)
+    config = _config_from_args(args)
+    rows = []
+    for method in args.methods:
+        if method == "multitask":
+            result = run_multitask(sequence, config, seed=args.seed)
+            rows.append(["multitask", f"{100 * result.acc():.2f}", "-",
+                         f"{result.elapsed_seconds:.1f}"])
+            continue
+        result = run_method(method, sequence, config, seed=args.seed)
+        rows.append([method, f"{100 * result.acc():.2f}", f"{100 * result.fgt():.2f}",
+                     f"{result.elapsed_seconds:.1f}"])
+    print(format_table(["method", "Acc %", "Fgt %", "time s"], rows,
+                       title=f"{args.benchmark} ({args.scale} scale, seed {args.seed})"))
+    return 0
+
+
+def _command_sweep(args: argparse.Namespace) -> int:
+    import pathlib
+
+    sequence = _load_benchmark(args.benchmark, args.scale, args.n_tasks)
+    config = _config_from_args(args)
+    out_dir = pathlib.Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    for method in args.methods:
+        for seed in range(args.seeds):
+            result = run_method(method, sequence, config, seed=seed)
+            path = out_dir / f"{method}_seed{seed}.json"
+            save_result(result, path)
+            print(f"{method} seed {seed}: Acc={100 * result.acc():.2f} "
+                  f"Fgt={100 * result.fgt():.2f} -> {path}")
+    return 0
+
+
+def _command_report(args: argparse.Namespace) -> int:
+    from repro.utils.report import build_report, write_report
+
+    if args.output:
+        path = write_report(args.results_dir, args.output, title=args.title)
+        print(f"report written to {path}")
+    else:
+        print(build_report(args.results_dir, title=args.title))
+    return 0
+
+
+def _command_list(_args: argparse.Namespace) -> int:
+    print("benchmarks:", ", ".join(sorted(IMAGE_PRESETS)) + ", tabular")
+    print("methods:   ", ", ".join(METHODS + ["multitask"]))
+    print("selection: ", "random, kmeans, min-var, distant, high-entropy")
+    print("replay:    ", "css, dis, rpl (x uniform/similarity sampling)")
+    print("objectives:", "simsiam, barlow, byol, vae")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="EDSR (ICDE 2024) reproduction — unsupervised continual learning")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = subparsers.add_parser("run", help="train one method on one benchmark")
+    run_parser.add_argument("method", choices=METHODS + ["multitask"])
+    run_parser.add_argument("benchmark")
+    run_parser.add_argument("--output", help="write the result JSON here")
+    _add_config_arguments(run_parser)
+    run_parser.set_defaults(handler=_command_run)
+
+    compare_parser = subparsers.add_parser("compare", help="rank several methods")
+    compare_parser.add_argument("benchmark")
+    compare_parser.add_argument("--methods", nargs="+",
+                                default=["finetune", "lump", "cassle", "edsr"],
+                                choices=METHODS + ["multitask"])
+    _add_config_arguments(compare_parser)
+    compare_parser.set_defaults(handler=_command_compare)
+
+    sweep_parser = subparsers.add_parser("sweep", help="run methods x seeds, save JSONs")
+    sweep_parser.add_argument("benchmark")
+    sweep_parser.add_argument("out_dir")
+    sweep_parser.add_argument("--methods", nargs="+",
+                              default=["finetune", "cassle", "edsr"],
+                              choices=METHODS)
+    sweep_parser.add_argument("--seeds", type=int, default=2)
+    _add_config_arguments(sweep_parser)
+    sweep_parser.set_defaults(handler=_command_sweep)
+
+    report_parser = subparsers.add_parser("report", help="markdown report from saved results")
+    report_parser.add_argument("results_dir")
+    report_parser.add_argument("--output", help="write here instead of stdout")
+    report_parser.add_argument("--title", default="Experiment report")
+    report_parser.set_defaults(handler=_command_report)
+
+    list_parser = subparsers.add_parser("list", help="show available components")
+    list_parser.set_defaults(handler=_command_list)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

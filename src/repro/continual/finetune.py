@@ -1,0 +1,15 @@
+"""Finetune — the vanilla baseline (Sec. IV-A4).
+
+Trains ``L_css`` on each increment with no forgetting prevention; the
+behaviour is exactly the :class:`ContinualMethod` default.
+"""
+
+from __future__ import annotations
+
+from repro.continual.method import ContinualMethod
+
+
+class Finetune(ContinualMethod):
+    """No forgetting prevention: the vanilla lower-bound baseline."""
+
+    name = "finetune"

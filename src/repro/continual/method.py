@@ -1,0 +1,94 @@
+"""The interface every continual method implements, plus the method factory.
+
+A method wraps the live CSSL objective and contributes:
+
+- per-increment setup/teardown (:meth:`begin_task` / :meth:`end_task`) —
+  snapshotting the old model, building distillation heads, selecting memory;
+- the per-batch training loss (:meth:`batch_loss`), which the trainer
+  back-propagates;
+- optional optimizer-step hooks (:meth:`before_step` / :meth:`after_step`)
+  used by SI's path-integral importance tracking.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.augment.base import TwoViewAugment
+from repro.continual.config import ContinualConfig
+from repro.data.splits import Task
+from repro.nn.module import Parameter
+from repro.ssl.base import CSSLObjective
+from repro.tensor.tensor import Tensor
+
+
+class ContinualMethod:
+    """Base class; the default behaviour is plain finetuning."""
+
+    name = "base"
+    uses_memory = False
+
+    def __init__(self, objective: CSSLObjective, config: ContinualConfig,
+                 rng: np.random.Generator):
+        self.objective = objective
+        self.config = config
+        self.rng = rng
+        self.augment: TwoViewAugment | None = None  # set by the trainer per increment
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def begin_task(self, task: Task, task_index: int, n_tasks: int) -> None:
+        """Called before training on increment ``task_index`` starts."""
+
+    def end_task(self, task: Task, task_index: int) -> None:
+        """Called after training on increment ``task_index`` finishes."""
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+    def trainable_parameters(self) -> list[Parameter]:
+        """Parameters the optimizer updates this increment."""
+        return self.objective.parameters()
+
+    def batch_loss(self, view1: np.ndarray, view2: np.ndarray,
+                   raw: np.ndarray) -> Tensor:
+        """Training loss for one batch: two augmented views plus the raw batch."""
+        return self.objective.css_loss(view1, view2)
+
+    def before_step(self) -> None:
+        """Hook before ``optimizer.step()`` (after ``backward``)."""
+
+    def after_step(self) -> None:
+        """Hook after ``optimizer.step()``."""
+
+
+def make_method(name: str, objective: CSSLObjective, config: ContinualConfig,
+                rng: np.random.Generator) -> ContinualMethod:
+    """Factory mapping Table III row names to method instances."""
+    from repro.continual.cassle import CaSSLe
+    from repro.continual.der import DER
+    from repro.continual.edsr import EDSR
+    from repro.continual.finetune import Finetune
+    from repro.continual.generative import GenerativeReplay
+    from repro.continual.lin import LinContinual
+    from repro.continual.lump import LUMP
+    from repro.continual.pfr import PFR
+    from repro.continual.si import SynapticIntelligence
+
+    methods = {
+        "finetune": Finetune,
+        "si": SynapticIntelligence,
+        "der": DER,
+        "lump": LUMP,
+        "cassle": CaSSLe,
+        "edsr": EDSR,
+        "lin": LinContinual,
+        "pfr": PFR,
+        "curl": GenerativeReplay,
+    }
+    try:
+        cls = methods[name]
+    except KeyError as exc:
+        raise KeyError(f"unknown method {name!r}; available: {sorted(methods)}") from exc
+    return cls(objective, config, rng)

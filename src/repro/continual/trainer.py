@@ -1,0 +1,121 @@
+"""The continual training loop (Fig. 2's training + selecting stages).
+
+For each increment: fresh optimizer over the method's current parameter set
+(heads change per increment), epochs of two-view CSSL batches, method hooks
+around each optimizer step, then the method's ``end_task`` (selection /
+consolidation) and a KNN evaluation over all increments seen so far — one
+row of the accuracy matrix.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.augment.base import TwoViewAugment
+from repro.augment.image import simsiam_image_pipeline
+from repro.augment.tabular import tabular_pipeline
+from repro.continual.config import ContinualConfig, build_objective
+from repro.continual.method import ContinualMethod, make_method
+from repro.data.loader import DataLoader
+from repro.data.splits import TaskSequence
+from repro.eval.metrics import ContinualResult
+from repro.eval.protocol import evaluate_tasks
+from repro.optim import SGD, Adam, ConstantLR, CosineLR
+
+
+def _build_optimizer(config: ContinualConfig, parameters):
+    if config.optimizer == "sgd":
+        return SGD(parameters, lr=config.lr, momentum=config.momentum,
+                   weight_decay=config.weight_decay)
+    if config.optimizer == "adam":
+        return Adam(parameters, lr=config.lr, weight_decay=config.weight_decay)
+    raise ValueError(f"unknown optimizer {config.optimizer!r}")
+
+
+def _build_schedule(config: ContinualConfig, optimizer):
+    if config.schedule == "cosine":
+        return CosineLR(optimizer, total_epochs=config.epochs)
+    if config.schedule == "constant":
+        return ConstantLR(optimizer)
+    raise ValueError(f"unknown schedule {config.schedule!r}")
+
+
+def _build_augment(config: ContinualConfig, train_x: np.ndarray) -> TwoViewAugment:
+    """Image pipeline for NCHW data, SCARF corruption for tabular rows."""
+    if train_x.ndim == 4:
+        return TwoViewAugment(simsiam_image_pipeline(padding=config.augment_padding))
+    if train_x.ndim == 2:
+        return TwoViewAugment(tabular_pipeline(train_x, config.tabular_corruption))
+    raise ValueError(f"unsupported data shape {train_x.shape}")
+
+
+class ContinualTrainer:
+    """Runs one method over one task sequence.
+
+    Parameters
+    ----------
+    method:
+        A constructed :class:`ContinualMethod` wrapping the live objective.
+    config:
+        The run configuration.
+    rng:
+        Generator for loader shuffling and augmentation.
+    verbose:
+        Print one line per increment.
+    """
+
+    def __init__(self, method: ContinualMethod, config: ContinualConfig,
+                 rng: np.random.Generator, verbose: bool = False):
+        self.method = method
+        self.config = config
+        self.rng = rng
+        self.verbose = verbose
+
+    def run(self, sequence: TaskSequence) -> ContinualResult:
+        config = self.config
+        method = self.method
+        result = ContinualResult(len(sequence), name=method.name)
+        start = time.perf_counter()
+
+        for task_index, task in enumerate(sequence):
+            method.augment = _build_augment(config, task.train.x)
+            method.begin_task(task, task_index, len(sequence))
+            optimizer = _build_optimizer(config, method.trainable_parameters())
+            schedule = _build_schedule(config, optimizer)
+            loader = DataLoader(task.train, config.batch_size, shuffle=True, rng=self.rng)
+
+            method.objective.train()
+            for epoch in range(config.epochs):
+                schedule.step(epoch)
+                for x_batch, _y_batch in loader:
+                    view1, view2 = method.augment(x_batch, self.rng)
+                    optimizer.zero_grad()
+                    loss = method.batch_loss(view1, view2, x_batch)
+                    loss.backward()
+                    method.before_step()
+                    optimizer.step()
+                    method.after_step()
+
+            method.end_task(task, task_index)
+            accuracies = evaluate_tasks(method.objective, list(sequence)[:task_index + 1],
+                                        knn_k=config.knn_k)
+            result.record_row(accuracies)
+            if self.verbose:
+                print(f"[{method.name}] task {task_index + 1}/{len(sequence)}: "
+                      f"Acc={result.acc_at(task_index):.4f} Fgt={result.fgt_at(task_index):.4f}")
+
+        result.elapsed_seconds = time.perf_counter() - start
+        return result
+
+
+def run_method(name: str, sequence: TaskSequence, config: ContinualConfig,
+               seed: int = 0, verbose: bool = False) -> ContinualResult:
+    """One-call convenience: build objective + method, train, return result."""
+    rng = np.random.default_rng(seed)
+    sample_shape = sequence[0].train.x.shape[1:]
+    objective = build_objective(config, sample_shape, rng)
+    method = make_method(name, objective, config, rng)
+    trainer = ContinualTrainer(method, config, rng, verbose=verbose)
+    return trainer.run(sequence)

@@ -1,0 +1,50 @@
+"""Mini-batch iteration with seeded shuffling."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.data.dataset import ArrayDataset
+
+
+class DataLoader:
+    """Iterates an :class:`ArrayDataset` in shuffled mini-batches.
+
+    Parameters
+    ----------
+    dataset:
+        Source dataset.
+    batch_size:
+        Mini-batch size; the final short batch is kept unless
+        ``drop_last`` is set.
+    shuffle:
+        Reshuffle at the start of each iteration using ``rng``.
+    rng:
+        Explicit generator — loaders never touch global numpy state.
+    """
+
+    def __init__(self, dataset: ArrayDataset, batch_size: int, shuffle: bool = True,
+                 drop_last: bool = False, rng: np.random.Generator | None = None):
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self.rng = rng or np.random.default_rng()
+
+    def __len__(self) -> int:
+        n = len(self.dataset)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        n = len(self.dataset)
+        order = self.rng.permutation(n) if self.shuffle else np.arange(n)
+        stop = n - n % self.batch_size if self.drop_last else n
+        for start in range(0, stop, self.batch_size):
+            idx = order[start:start + self.batch_size]
+            yield self.dataset.x[idx], self.dataset.y[idx]

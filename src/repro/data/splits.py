@@ -1,0 +1,117 @@
+"""Class-incremental task splitting (Sec. IV-A2 of the paper).
+
+A benchmark dataset is divided into a sequence of *tasks*, each holding a
+disjoint subset of classes: CIFAR-10 -> 5 tasks x 2 classes, CIFAR-100 and
+Tiny-ImageNet -> 20 x 5, DomainNet-real -> 15 x 23, and the Fig. 7 variant
+10 x 10.  The model sees tasks one at a time; after learning task ``i`` it is
+evaluated on the test splits of tasks ``1..i``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.dataset import ArrayDataset
+
+
+@dataclass(frozen=True)
+class Task:
+    """One increment of the continual sequence."""
+
+    task_id: int
+    classes: tuple[int, ...]
+    train: ArrayDataset
+    test: ArrayDataset
+
+    def __repr__(self) -> str:
+        return f"Task({self.task_id}, classes={self.classes}, train={len(self.train)}, test={len(self.test)})"
+
+
+@dataclass(frozen=True)
+class TaskSequence:
+    """An ordered list of tasks plus the merged sets for Multitask training."""
+
+    tasks: tuple[Task, ...]
+    name: str = "sequence"
+
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+    def __iter__(self):
+        return iter(self.tasks)
+
+    def __getitem__(self, index: int) -> Task:
+        return self.tasks[index]
+
+    @property
+    def merged_train(self) -> ArrayDataset:
+        return ArrayDataset.concatenate([t.train for t in self.tasks], name=self.name + "-all-train")
+
+    @property
+    def merged_test(self) -> ArrayDataset:
+        return ArrayDataset.concatenate([t.test for t in self.tasks], name=self.name + "-all-test")
+
+
+def class_incremental_split(train: ArrayDataset, test: ArrayDataset, n_tasks: int,
+                            rng: np.random.Generator | None = None,
+                            name: str | None = None) -> TaskSequence:
+    """Partition classes into ``n_tasks`` disjoint, equally sized groups.
+
+    Parameters
+    ----------
+    train, test:
+        Full dataset splits; both must contain the same class set.
+    n_tasks:
+        Number of increments; must divide the class count.
+    rng:
+        Optional generator to shuffle the class-to-task assignment (the paper
+        shuffles class order between seeds).  Without it, classes are
+        assigned in sorted order.
+    """
+    classes = train.classes
+    if not np.array_equal(classes, test.classes):
+        raise ValueError("train and test must cover the same classes")
+    if len(classes) % n_tasks:
+        raise ValueError(f"{len(classes)} classes not divisible into {n_tasks} tasks")
+    if rng is not None:
+        classes = rng.permutation(classes)
+    per_task = len(classes) // n_tasks
+
+    tasks = []
+    for task_id in range(n_tasks):
+        chunk = tuple(int(c) for c in classes[task_id * per_task:(task_id + 1) * per_task])
+        tasks.append(Task(
+            task_id=task_id,
+            classes=chunk,
+            train=train.filter_classes(chunk, name=f"{train.name}-task{task_id}"),
+            test=test.filter_classes(chunk, name=f"{test.name}-task{task_id}"),
+        ))
+    return TaskSequence(tuple(tasks), name=name or train.name)
+
+
+def dataset_sequence(pairs: list[tuple[ArrayDataset, ArrayDataset]],
+                     name: str = "dataset-sequence") -> TaskSequence:
+    """Build a task sequence where each increment is a *whole dataset*.
+
+    Used by the tabular experiment (Sec. IV-E): the five tables form a
+    5-increment sequence.  Labels are re-offset per task so the KNN
+    evaluator never confuses classes across datasets.
+    """
+    tasks = []
+    offset = 0
+    for task_id, (train, test) in enumerate(pairs):
+        n_classes = len(train.classes)
+        remap = {int(c): offset + i for i, c in enumerate(train.classes)}
+        mapper = np.vectorize(remap.__getitem__)
+        train_shifted = ArrayDataset(train.x, mapper(train.y), name=train.name)
+        test_shifted = ArrayDataset(test.x, mapper(test.y), name=test.name)
+        tasks.append(Task(
+            task_id=task_id,
+            classes=tuple(range(offset, offset + n_classes)),
+            train=train_shifted,
+            test=test_shifted,
+        ))
+        offset += n_classes
+    return TaskSequence(tuple(tasks), name=name)

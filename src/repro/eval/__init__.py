@@ -1,0 +1,15 @@
+"""Evaluation: KNN probing and the continual-learning metrics of Fig. 3."""
+
+from repro.eval.knn import KNNClassifier
+from repro.eval.linear_probe import LinearProbe
+from repro.eval.metrics import ContinualResult, forgetting_matrix
+from repro.eval.protocol import evaluate_tasks, extract_representations
+
+__all__ = [
+    "KNNClassifier",
+    "LinearProbe",
+    "ContinualResult",
+    "forgetting_matrix",
+    "evaluate_tasks",
+    "extract_representations",
+]

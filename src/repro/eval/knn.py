@@ -1,0 +1,67 @@
+"""Weighted KNN classifier on frozen representations.
+
+The standard CSSL evaluation protocol (Wu et al. 2018, used by SimSiam,
+LUMP, and CaSSLe — Sec. IV-A5): representations are L2-normalized, the k
+nearest training representations vote with weight ``exp(cos / tau)``, and
+the highest-scoring class wins.  No parameters are trained, so the probe
+measures representation quality only.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class KNNClassifier:
+    """Cosine-similarity weighted k-nearest-neighbour classifier.
+
+    Parameters
+    ----------
+    k:
+        Number of neighbours (clipped to the index size at predict time).
+    temperature:
+        Softmax temperature for the similarity weights.
+    """
+
+    def __init__(self, k: int = 20, temperature: float = 0.1):
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.k = k
+        self.temperature = temperature
+        self._index: np.ndarray | None = None
+        self._labels: np.ndarray | None = None
+        self._classes: np.ndarray | None = None
+
+    @staticmethod
+    def _normalize(x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        return x / (np.linalg.norm(x, axis=1, keepdims=True) + 1e-12)
+
+    def fit(self, representations: np.ndarray, labels: np.ndarray) -> "KNNClassifier":
+        if len(representations) != len(labels):
+            raise ValueError("representations and labels length mismatch")
+        if len(representations) == 0:
+            raise ValueError("cannot fit on an empty index")
+        self._index = self._normalize(representations)
+        self._labels = np.asarray(labels, dtype=np.int64)
+        self._classes = np.unique(self._labels)
+        return self
+
+    def predict(self, representations: np.ndarray) -> np.ndarray:
+        if self._index is None:
+            raise RuntimeError("predict() before fit()")
+        queries = self._normalize(representations)
+        sims = queries @ self._index.T                      # (Q, N)
+        k = min(self.k, self._index.shape[0])
+        top = np.argpartition(-sims, k - 1, axis=1)[:, :k]  # (Q, k)
+        rows = np.arange(len(queries))[:, None]
+        weights = np.exp(sims[rows, top] / self.temperature)
+        neighbour_labels = self._labels[top]
+        scores = np.zeros((len(queries), len(self._classes)))
+        for ci, cls in enumerate(self._classes):
+            scores[:, ci] = (weights * (neighbour_labels == cls)).sum(axis=1)
+        return self._classes[scores.argmax(axis=1)]
+
+    def accuracy(self, representations: np.ndarray, labels: np.ndarray) -> float:
+        predictions = self.predict(representations)
+        return float((predictions == np.asarray(labels)).mean())

@@ -1,0 +1,83 @@
+"""Linear evaluation protocol — the other standard CSSL probe.
+
+The paper evaluates with KNN "to avoid introducing extra parameters"
+(Sec. IV-A5); the linear probe is the complementary protocol used across
+the CSSL literature (SimCLR, SimSiam): train a single linear softmax
+classifier on frozen representations and report its test accuracy.  Having
+both probes lets users check that conclusions are protocol-independent.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.linear import Linear
+from repro.optim.adam import Adam
+from repro.tensor import ops
+from repro.tensor.tensor import Tensor
+
+
+class LinearProbe:
+    """Multinomial logistic regression on frozen representations.
+
+    Parameters
+    ----------
+    epochs, lr, batch_size, weight_decay:
+        Optimization of the probe head (Adam).
+    rng:
+        Generator for init and shuffling.
+    """
+
+    def __init__(self, epochs: int = 50, lr: float = 1e-2, batch_size: int = 64,
+                 weight_decay: float = 1e-4, rng: np.random.Generator | None = None):
+        self.epochs = epochs
+        self.lr = lr
+        self.batch_size = batch_size
+        self.weight_decay = weight_decay
+        self.rng = rng or np.random.default_rng()
+        self._head: Linear | None = None
+        self._classes: np.ndarray | None = None
+        self._mean: np.ndarray | None = None
+        self._std: np.ndarray | None = None
+
+    def fit(self, representations: np.ndarray, labels: np.ndarray) -> "LinearProbe":
+        x = np.asarray(representations, dtype=np.float32)
+        y = np.asarray(labels, dtype=np.int64)
+        if len(x) != len(y):
+            raise ValueError("representations and labels length mismatch")
+        if len(x) == 0:
+            raise ValueError("cannot fit a probe on an empty set")
+        self._classes = np.unique(y)
+        class_index = {int(c): i for i, c in enumerate(self._classes)}
+        targets = np.array([class_index[int(label)] for label in y])
+
+        self._mean = x.mean(axis=0)
+        self._std = x.std(axis=0) + 1e-6
+        x = (x - self._mean) / self._std
+
+        self._head = Linear(x.shape[1], len(self._classes), rng=self.rng)
+        optimizer = Adam(self._head.parameters(), lr=self.lr,
+                         weight_decay=self.weight_decay)
+        n = len(x)
+        for _epoch in range(self.epochs):
+            order = self.rng.permutation(n)
+            for start in range(0, n, self.batch_size):
+                idx = order[start:start + self.batch_size]
+                optimizer.zero_grad()
+                logits = self._head(Tensor(x[idx]))
+                log_probs = ops.log_softmax(logits, axis=1)
+                rows = np.arange(len(idx))
+                loss = -(log_probs[rows, targets[idx]]).mean()
+                loss.backward()
+                optimizer.step()
+        return self
+
+    def predict(self, representations: np.ndarray) -> np.ndarray:
+        if self._head is None:
+            raise RuntimeError("predict() before fit()")
+        x = (np.asarray(representations, dtype=np.float32) - self._mean) / self._std
+        logits = self._head(Tensor(x)).numpy()
+        return self._classes[logits.argmax(axis=1)]
+
+    def accuracy(self, representations: np.ndarray, labels: np.ndarray) -> float:
+        return float((self.predict(representations) == np.asarray(labels)).mean())

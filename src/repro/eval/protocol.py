@@ -1,0 +1,43 @@
+"""The evaluation protocol: per-task KNN probing after each increment.
+
+Following LUMP/CaSSLe, ``A[i, j]`` is measured by fitting the KNN classifier
+on increment ``j``'s *training* representations (labels used here only) and
+scoring increment ``j``'s test split — all representations extracted by the
+current model with augmentation disabled.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import ArrayDataset
+from repro.data.splits import Task
+from repro.eval.knn import KNNClassifier
+from repro.ssl.base import CSSLObjective
+from repro.tensor.tensor import no_grad
+
+
+def extract_representations(objective: CSSLObjective, x: np.ndarray,
+                            batch_size: int = 128) -> np.ndarray:
+    """Unaugmented representations of ``x`` under the current model (eval mode)."""
+    was_training = objective.training
+    objective.eval()
+    chunks = []
+    with no_grad():
+        for start in range(0, len(x), batch_size):
+            chunks.append(objective.representation(x[start:start + batch_size]).numpy())
+    objective.train(was_training)
+    return np.concatenate(chunks, axis=0)
+
+
+def evaluate_task(objective: CSSLObjective, task: Task, knn_k: int = 20) -> float:
+    """Accuracy of the KNN probe on one task."""
+    train_reps = extract_representations(objective, task.train.x)
+    test_reps = extract_representations(objective, task.test.x)
+    probe = KNNClassifier(k=knn_k).fit(train_reps, task.train.y)
+    return probe.accuracy(test_reps, task.test.y)
+
+
+def evaluate_tasks(objective: CSSLObjective, tasks: list[Task], knn_k: int = 20) -> list[float]:
+    """One accuracy per task — a row of the accuracy matrix."""
+    return [evaluate_task(objective, task, knn_k) for task in tasks]

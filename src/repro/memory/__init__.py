@@ -1,0 +1,5 @@
+"""Episodic memory for replay-based continual methods."""
+
+from repro.memory.buffer import MemoryBuffer, MemoryRecord
+
+__all__ = ["MemoryBuffer", "MemoryRecord"]

@@ -1,0 +1,86 @@
+"""Budget-limited episodic memory (the ``{M_i}`` of Def. 3).
+
+The paper's protocol stores a fixed per-increment quota summing to the
+total budget ``s`` (e.g. 640 over 20 CIFAR-100 tasks = 32 per task; Fig. 7
+states "32 samples are stored for each data subset").  Besides the raw
+samples, the buffer carries per-sample metadata the replay losses need:
+the noise scale ``r(x)`` (Sec. III-B) and auxiliary targets (DER stores the
+old backbone outputs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class MemoryRecord:
+    """Everything stored for one past increment."""
+
+    task_id: int
+    samples: np.ndarray                       # (m, ...) raw inputs
+    noise_scales: np.ndarray | None = None    # (m,) r(x) values, EDSR only
+    targets: np.ndarray | None = None         # (m, d) stored outputs, DER only
+    labels: np.ndarray | None = None          # (m,) evaluation-only labels
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+
+class MemoryBuffer:
+    """Fixed total budget split evenly across the expected task count."""
+
+    def __init__(self, total_budget: int, n_tasks: int):
+        if total_budget < 0:
+            raise ValueError("total_budget must be >= 0")
+        if n_tasks < 1:
+            raise ValueError("n_tasks must be >= 1")
+        self.total_budget = total_budget
+        self.n_tasks = n_tasks
+        self.records: list[MemoryRecord] = []
+
+    @property
+    def per_task_quota(self) -> int:
+        return self.total_budget // self.n_tasks
+
+    def __len__(self) -> int:
+        return sum(len(r) for r in self.records)
+
+    @property
+    def is_empty(self) -> bool:
+        return len(self) == 0
+
+    def add(self, record: MemoryRecord) -> None:
+        if len(record) > self.per_task_quota:
+            raise ValueError(
+                f"record of {len(record)} samples exceeds per-task quota {self.per_task_quota}")
+        if any(r.task_id == record.task_id for r in self.records):
+            raise ValueError(f"task {record.task_id} already stored")
+        self.records.append(record)
+
+    def all_samples(self) -> np.ndarray:
+        if self.is_empty:
+            raise ValueError("memory is empty")
+        return np.concatenate([r.samples for r in self.records], axis=0)
+
+    def all_noise_scales(self) -> np.ndarray:
+        scales = [r.noise_scales for r in self.records]
+        if any(s is None for s in scales):
+            raise ValueError("some records lack noise scales")
+        return np.concatenate(scales, axis=0)
+
+    def all_targets(self) -> np.ndarray:
+        targets = [r.targets for r in self.records]
+        if any(t is None for t in targets):
+            raise ValueError("some records lack stored targets")
+        return np.concatenate(targets, axis=0)
+
+    def sample_batch(self, batch_size: int, rng: np.random.Generator) -> np.ndarray:
+        """Indices of a replay batch drawn uniformly from the whole memory."""
+        n = len(self)
+        if n == 0:
+            raise ValueError("cannot sample from empty memory")
+        size = min(batch_size, n)
+        return rng.choice(n, size=size, replace=False)

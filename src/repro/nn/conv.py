@@ -1,0 +1,109 @@
+"""2-D convolution via im2col.
+
+The forward pass lowers convolution to a single matmul over unfolded
+patches; the backward pass is written as a custom autograd primitive so the
+col2im scatter runs in vectorized numpy instead of through generic indexing.
+Layout is NCHW throughout, matching the torch convention the paper's models
+assume.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+from repro.tensor.tensor import Tensor
+
+
+def _im2col(x: np.ndarray, kernel: int, stride: int, padding: int) -> tuple[np.ndarray, int, int]:
+    """Unfold ``x`` (N, C, H, W) into (N, out_h, out_w, C*k*k) patches."""
+    n, c, h, w = x.shape
+    if padding:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    out_h = (h + 2 * padding - kernel) // stride + 1
+    out_w = (w + 2 * padding - kernel) // stride + 1
+    strides = x.strides
+    shape = (n, c, out_h, out_w, kernel, kernel)
+    view = np.lib.stride_tricks.as_strided(
+        x,
+        shape=shape,
+        strides=(strides[0], strides[1], strides[2] * stride, strides[3] * stride, strides[2], strides[3]),
+        writeable=False,
+    )
+    # (N, out_h, out_w, C, k, k) -> (N, out_h, out_w, C*k*k)
+    cols = view.transpose(0, 2, 3, 1, 4, 5).reshape(n, out_h, out_w, c * kernel * kernel)
+    return np.ascontiguousarray(cols), out_h, out_w
+
+
+def _col2im(cols: np.ndarray, x_shape: tuple[int, int, int, int], kernel: int,
+            stride: int, padding: int) -> np.ndarray:
+    """Scatter-add (N, out_h, out_w, C*k*k) patch gradients back to x."""
+    n, c, h, w = x_shape
+    out_h = (h + 2 * padding - kernel) // stride + 1
+    out_w = (w + 2 * padding - kernel) // stride + 1
+    padded = np.zeros((n, c, h + 2 * padding, w + 2 * padding), dtype=cols.dtype)
+    cols = cols.reshape(n, out_h, out_w, c, kernel, kernel).transpose(0, 3, 1, 2, 4, 5)
+    for ki in range(kernel):
+        i_max = ki + stride * out_h
+        for kj in range(kernel):
+            j_max = kj + stride * out_w
+            padded[:, :, ki:i_max:stride, kj:j_max:stride] += cols[:, :, :, :, ki, kj]
+    if padding:
+        return padded[:, :, padding:-padding, padding:-padding]
+    return padded
+
+
+class Conv2d(Module):
+    """Convolution layer ``(N, C_in, H, W) -> (N, C_out, H', W')``."""
+
+    def __init__(self, in_channels: int, out_channels: int, kernel_size: int,
+                 stride: int = 1, padding: int = 0, bias: bool = True,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        fan_in = in_channels * kernel_size * kernel_size
+        # Stored as (C_in*k*k, C_out) so forward is one matmul over patches.
+        self.weight = Parameter(init.kaiming_uniform(rng, (fan_in, out_channels), fan_in))
+        if bias:
+            bound = 1.0 / np.sqrt(fan_in)
+            self.bias = Parameter(rng.uniform(-bound, bound, size=(out_channels,)).astype(np.float32))
+        else:
+            self.bias = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim != 4:
+            raise ValueError(f"Conv2d expects NCHW input, got shape {x.shape}")
+        n = x.shape[0]
+        x_shape = x.shape
+        k, s, p = self.kernel_size, self.stride, self.padding
+        cols, out_h, out_w = _im2col(x.data, k, s, p)
+        flat = cols.reshape(-1, cols.shape[-1])            # (N*oh*ow, Cin*k*k)
+        out_flat = flat @ self.weight.data                 # (N*oh*ow, Cout)
+        out = out_flat.reshape(n, out_h, out_w, self.out_channels).transpose(0, 3, 1, 2)
+
+        weight = self.weight
+
+        def grad_x(g: np.ndarray) -> np.ndarray:
+            g_flat = g.transpose(0, 2, 3, 1).reshape(-1, self.out_channels)
+            cols_grad = g_flat @ weight.data.T
+            return _col2im(cols_grad.reshape(n, out_h, out_w, -1), x_shape, k, s, p)
+
+        def grad_w(g: np.ndarray) -> np.ndarray:
+            g_flat = g.transpose(0, 2, 3, 1).reshape(-1, self.out_channels)
+            return flat.T @ g_flat
+
+        parents = [(x, grad_x), (weight, grad_w)]
+        result = Tensor.from_op(out, parents, op="conv2d")
+        if self.bias is not None:
+            result = result + self.bias.reshape(1, self.out_channels, 1, 1)
+        return result
+
+    def __repr__(self) -> str:
+        return (f"Conv2d({self.in_channels}, {self.out_channels}, k={self.kernel_size}, "
+                f"s={self.stride}, p={self.padding})")

@@ -1,0 +1,59 @@
+"""TinyConvNet: the default CPU-scale image backbone.
+
+Stands in for the paper's ResNet-18 in CI-scale experiments (see DESIGN.md's
+substitution table): a 3-stage conv stack with BatchNorm, ReLU and pooling
+ending in global average pooling, producing a flat feature vector.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.activation import ReLU
+from repro.nn.container import Sequential
+from repro.nn.conv import Conv2d
+from repro.nn.module import Module
+from repro.nn.norm import BatchNorm2d
+from repro.nn.pool import GlobalAvgPool2d, MaxPool2d
+from repro.tensor.tensor import Tensor
+
+
+class TinyConvNet(Module):
+    """Small CNN encoder: (N, C, H, W) -> (N, width*4).
+
+    Parameters
+    ----------
+    in_channels:
+        Input image channels.
+    width:
+        Base channel count; stages use ``width, 2*width, 4*width``.
+    image_size:
+        Input resolution; must be divisible by 4 (two 2x2 pools).
+    """
+
+    def __init__(self, in_channels: int = 3, width: int = 16, image_size: int = 8,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        if image_size % 4:
+            raise ValueError("image_size must be divisible by 4")
+        self.output_dim = width * 4
+        self.net = Sequential(
+            Conv2d(in_channels, width, 3, padding=1, bias=False, rng=rng),
+            BatchNorm2d(width),
+            ReLU(),
+            MaxPool2d(2),
+            Conv2d(width, width * 2, 3, padding=1, bias=False, rng=rng),
+            BatchNorm2d(width * 2),
+            ReLU(),
+            MaxPool2d(2),
+            Conv2d(width * 2, width * 4, 3, padding=1, bias=False, rng=rng),
+            BatchNorm2d(width * 4),
+            ReLU(),
+            GlobalAvgPool2d(),
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim != 4:
+            raise ValueError(f"TinyConvNet expects NCHW input, got {x.shape}")
+        return self.net(x)

@@ -1,0 +1,33 @@
+"""Inverted dropout.
+
+Training mode zeroes each activation with probability ``p`` and rescales
+the survivors by ``1/(1-p)`` so eval mode is the identity.  The layer takes
+its randomness from a per-layer generator seeded at construction, keeping
+the whole-model determinism guarantee.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.tensor.tensor import Tensor
+
+
+class Dropout(Module):
+    def __init__(self, p: float = 0.5, rng: np.random.Generator | None = None):
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError("dropout probability must be in [0, 1)")
+        self.p = p
+        self.rng = rng or np.random.default_rng()
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.training or self.p == 0.0:
+            return x
+        keep = 1.0 - self.p
+        mask = (self.rng.uniform(size=x.shape) < keep).astype(x.data.dtype) / keep
+        return x * Tensor(mask)
+
+    def __repr__(self) -> str:
+        return f"Dropout(p={self.p})"

@@ -1,0 +1,59 @@
+"""Batch-independent normalization: LayerNorm and GroupNorm.
+
+BatchNorm couples samples through batch statistics, which breaks at batch
+size 1 and makes distillation targets depend on batch composition.  These
+two layers normalize within each sample and are the standard alternatives
+in the SSL literature; the MLP backbone accepts ``norm="layer"`` to use
+them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module, Parameter
+from repro.tensor import ops
+from repro.tensor.tensor import Tensor
+
+
+class LayerNorm(Module):
+    """Normalizes each sample over its feature axis: (N, F) -> (N, F)."""
+
+    def __init__(self, num_features: int, eps: float = 1e-5):
+        super().__init__()
+        self.num_features = num_features
+        self.eps = eps
+        self.weight = Parameter(np.ones(num_features, dtype=np.float32))
+        self.bias = Parameter(np.zeros(num_features, dtype=np.float32))
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim != 2 or x.shape[1] != self.num_features:
+            raise ValueError(f"LayerNorm({self.num_features}) got shape {x.shape}")
+        mean = x.mean(axis=1, keepdims=True)
+        var = x.var(axis=1, keepdims=True)
+        normalized = (x - mean) / ops.sqrt(var + self.eps)
+        return normalized * self.weight + self.bias
+
+
+class GroupNorm(Module):
+    """Normalizes (N, C, H, W) within channel groups per sample (Wu & He 2018)."""
+
+    def __init__(self, num_groups: int, num_channels: int, eps: float = 1e-5):
+        super().__init__()
+        if num_channels % num_groups:
+            raise ValueError(f"{num_channels} channels not divisible into {num_groups} groups")
+        self.num_groups = num_groups
+        self.num_channels = num_channels
+        self.eps = eps
+        self.weight = Parameter(np.ones(num_channels, dtype=np.float32))
+        self.bias = Parameter(np.zeros(num_channels, dtype=np.float32))
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim != 4 or x.shape[1] != self.num_channels:
+            raise ValueError(f"GroupNorm({self.num_channels}) got shape {x.shape}")
+        n, c, h, w = x.shape
+        grouped = x.reshape(n, self.num_groups, c // self.num_groups * h * w)
+        mean = grouped.mean(axis=2, keepdims=True)
+        var = grouped.var(axis=2, keepdims=True)
+        normalized = ((grouped - mean) / ops.sqrt(var + self.eps)).reshape(n, c, h, w)
+        return normalized * self.weight.reshape(1, c, 1, 1) + self.bias.reshape(1, c, 1, 1)

@@ -1,0 +1,47 @@
+"""Fully-connected layer."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+from repro.tensor.tensor import Tensor
+
+
+class Linear(Module):
+    """Affine map ``y = x W + b``.
+
+    Parameters
+    ----------
+    in_features, out_features:
+        Input/output widths.
+    bias:
+        Whether to add a learnable bias.
+    rng:
+        Generator for weight init; a fresh default generator is used when
+        omitted (only convenient for throwaway models — experiments always
+        pass one).
+    """
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.kaiming_uniform(rng, (in_features, out_features), in_features))
+        if bias:
+            bound = 1.0 / np.sqrt(max(in_features, 1))
+            self.bias = Parameter(rng.uniform(-bound, bound, size=(out_features,)).astype(np.float32))
+        else:
+            self.bias = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def __repr__(self) -> str:
+        return f"Linear({self.in_features}, {self.out_features}, bias={self.bias is not None})"

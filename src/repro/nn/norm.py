@@ -1,0 +1,64 @@
+"""Batch normalization (1-D and 2-D).
+
+Training mode normalizes with batch statistics and updates exponential
+running averages; eval mode uses the running averages.  Running stats are
+registered buffers so they travel with ``state_dict`` snapshots of the old
+model, which matters for distillation: the frozen old model must normalize
+exactly as it did when it finished its task.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module, Parameter
+from repro.tensor.tensor import Tensor
+from repro.tensor import ops
+
+
+class _BatchNorm(Module):
+    def __init__(self, num_features: int, momentum: float = 0.1, eps: float = 1e-5):
+        super().__init__()
+        self.num_features = num_features
+        self.momentum = momentum
+        self.eps = eps
+        self.weight = Parameter(np.ones(num_features, dtype=np.float32))
+        self.bias = Parameter(np.zeros(num_features, dtype=np.float32))
+        self.register_buffer("running_mean", np.zeros(num_features, dtype=np.float32))
+        self.register_buffer("running_var", np.ones(num_features, dtype=np.float32))
+
+    def _normalize(self, x: Tensor, axes: tuple[int, ...], shape: tuple[int, ...]) -> Tensor:
+        if self.training:
+            mean = x.mean(axis=axes, keepdims=True)
+            var = x.var(axis=axes, keepdims=True)
+            m = self.momentum
+            self._set_buffer("running_mean",
+                             ((1 - m) * self.running_mean + m * mean.data.reshape(-1)).astype(np.float32))
+            # unbiased variance for the running estimate, as torch does
+            count = int(np.prod([x.shape[a] for a in axes]))
+            unbias = count / max(count - 1, 1)
+            self._set_buffer("running_var",
+                             ((1 - m) * self.running_var + m * unbias * var.data.reshape(-1)).astype(np.float32))
+        else:
+            mean = Tensor(self.running_mean.reshape(shape))
+            var = Tensor(self.running_var.reshape(shape))
+        x_hat = (x - mean) / ops.sqrt(var + self.eps)
+        return x_hat * self.weight.reshape(*shape) + self.bias.reshape(*shape)
+
+
+class BatchNorm1d(_BatchNorm):
+    """Normalizes (N, F) activations per feature."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim != 2:
+            raise ValueError(f"BatchNorm1d expects (N, F), got {x.shape}")
+        return self._normalize(x, axes=(0,), shape=(1, self.num_features))
+
+
+class BatchNorm2d(_BatchNorm):
+    """Normalizes (N, C, H, W) activations per channel."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim != 4:
+            raise ValueError(f"BatchNorm2d expects (N, C, H, W), got {x.shape}")
+        return self._normalize(x, axes=(0, 2, 3), shape=(1, self.num_features, 1, 1))

@@ -1,0 +1,65 @@
+"""Spatial pooling layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.tensor.tensor import Tensor
+
+
+class MaxPool2d(Module):
+    """Non-overlapping max pooling (kernel == stride), the common CNN case."""
+
+    def __init__(self, kernel_size: int):
+        super().__init__()
+        self.kernel_size = kernel_size
+
+    def forward(self, x: Tensor) -> Tensor:
+        k = self.kernel_size
+        n, c, h, w = x.shape
+        if h % k or w % k:
+            raise ValueError(f"MaxPool2d({k}) needs H, W divisible by {k}, got {(h, w)}")
+        oh, ow = h // k, w // k
+        windows = x.data.reshape(n, c, oh, k, ow, k)
+        out = windows.max(axis=(3, 5))
+        # argmax mask for backward (ties split the gradient as in Tensor.max)
+        expanded = out[:, :, :, None, :, None]
+        mask = (windows == expanded).astype(x.data.dtype)
+        mask /= mask.sum(axis=(3, 5), keepdims=True)
+
+        def grad_fn(g: np.ndarray) -> np.ndarray:
+            g_exp = g[:, :, :, None, :, None] * mask
+            return g_exp.reshape(n, c, h, w)
+
+        return Tensor.from_op(out, [(x, grad_fn)], op="maxpool2d")
+
+
+class AvgPool2d(Module):
+    """Non-overlapping average pooling."""
+
+    def __init__(self, kernel_size: int):
+        super().__init__()
+        self.kernel_size = kernel_size
+
+    def forward(self, x: Tensor) -> Tensor:
+        k = self.kernel_size
+        n, c, h, w = x.shape
+        if h % k or w % k:
+            raise ValueError(f"AvgPool2d({k}) needs H, W divisible by {k}, got {(h, w)}")
+        oh, ow = h // k, w // k
+        out = x.data.reshape(n, c, oh, k, ow, k).mean(axis=(3, 5))
+        scale = 1.0 / (k * k)
+
+        def grad_fn(g: np.ndarray) -> np.ndarray:
+            g_exp = np.broadcast_to(g[:, :, :, None, :, None] * scale, (n, c, oh, k, ow, k))
+            return g_exp.reshape(n, c, h, w)
+
+        return Tensor.from_op(out, [(x, grad_fn)], op="avgpool2d")
+
+
+class GlobalAvgPool2d(Module):
+    """Average over all spatial positions: (N, C, H, W) -> (N, C)."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.mean(axis=(2, 3))

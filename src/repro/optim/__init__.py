@@ -1,0 +1,8 @@
+"""Gradient-descent optimizers and learning-rate schedules."""
+
+from repro.optim.base import Optimizer
+from repro.optim.sgd import SGD
+from repro.optim.adam import Adam
+from repro.optim.schedule import ConstantLR, StepLR, CosineLR
+
+__all__ = ["Optimizer", "SGD", "Adam", "ConstantLR", "StepLR", "CosineLR"]

@@ -1,0 +1,37 @@
+"""Adam (Kingma & Ba, 2015).
+
+The paper uses Adam for the tabular experiments (Sec. IV-A5).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Parameter
+from repro.optim.base import Optimizer
+
+
+class Adam(Optimizer):
+    def __init__(self, parameters, lr: float = 1e-3, betas: tuple[float, float] = (0.9, 0.999),
+                 eps: float = 1e-8, weight_decay: float = 0.0):
+        super().__init__(parameters, lr)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+
+    def _update(self, param: Parameter, state: dict) -> None:
+        grad = param.grad
+        if self.weight_decay:
+            grad = grad + self.weight_decay * param.data
+        step = state.get("step", 0) + 1
+        m = state.get("m")
+        v = state.get("v")
+        if m is None:
+            m = np.zeros_like(param.data)
+            v = np.zeros_like(param.data)
+        m = self.beta1 * m + (1 - self.beta1) * grad
+        v = self.beta2 * v + (1 - self.beta2) * grad * grad
+        state.update(step=step, m=m, v=v)
+        m_hat = m / (1 - self.beta1 ** step)
+        v_hat = v / (1 - self.beta2 ** step)
+        param.data = param.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

@@ -1,0 +1,36 @@
+"""Optimizer base class."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.nn.module import Parameter
+
+
+class Optimizer:
+    """Holds a parameter list and applies per-parameter updates.
+
+    Subclasses implement :meth:`_update` for a single parameter given its
+    gradient; state (momentum buffers etc.) is kept per parameter id.
+    """
+
+    def __init__(self, parameters: Iterable[Parameter], lr: float):
+        self.parameters = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer got an empty parameter list")
+        self.lr = float(lr)
+        self._state: dict[int, dict] = {}
+
+    def zero_grad(self) -> None:
+        for p in self.parameters:
+            p.grad = None
+
+    def step(self) -> None:
+        for p in self.parameters:
+            if p.grad is None:
+                continue
+            state = self._state.setdefault(id(p), {})
+            self._update(p, state)
+
+    def _update(self, param: Parameter, state: dict) -> None:
+        raise NotImplementedError

@@ -1,0 +1,26 @@
+"""Replay losses for stored memory (Sec. III-B and Table IV)."""
+
+from repro.replay.noise import noise_scales, knn_indices
+from repro.replay.losses import CSSReplay, DistillReplay, NoisyDistillReplay, ReplayLoss, make_replay
+from repro.replay.sampling import (
+    ReplaySampling,
+    SimilaritySampling,
+    UniformSampling,
+    batch_similarities,
+    make_sampling,
+)
+
+__all__ = [
+    "noise_scales",
+    "knn_indices",
+    "ReplayLoss",
+    "CSSReplay",
+    "DistillReplay",
+    "NoisyDistillReplay",
+    "make_replay",
+    "ReplaySampling",
+    "UniformSampling",
+    "SimilaritySampling",
+    "batch_similarities",
+    "make_sampling",
+]

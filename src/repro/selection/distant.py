@@ -1,0 +1,19 @@
+"""Distant selection — maximum-spread subset via k-means++ seeding (Table V)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.selection.base import SelectionContext, SelectionStrategy
+from repro.selection.kmeans import kmeans_plus_plus_seeds
+
+
+class DistantSelection(SelectionStrategy):
+    """Select ``budget`` mutually distant samples (k-means++ seeding)."""
+
+    name = "distant"
+
+    def select(self, context: SelectionContext) -> np.ndarray:
+        budget = self._clip_budget(context)
+        seeds = kmeans_plus_plus_seeds(context.representations, budget, context.rng)
+        return np.sort(seeds)

@@ -1,0 +1,16 @@
+"""Uniform random selection (the LUMP/DER baseline of Table V)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.selection.base import SelectionContext, SelectionStrategy
+
+
+class RandomSelection(SelectionStrategy):
+    name = "random"
+
+    def select(self, context: SelectionContext) -> np.ndarray:
+        budget = self._clip_budget(context)
+        chosen = context.rng.choice(len(context.representations), size=budget, replace=False)
+        return np.sort(chosen)

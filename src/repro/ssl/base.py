@@ -1,0 +1,44 @@
+"""Common interface for CSSL objectives.
+
+A :class:`CSSLObjective` owns an :class:`~repro.ssl.encoder.Encoder` plus any
+loss-specific heads (SimSiam's predictor), and exposes:
+
+- ``css_loss(x1, x2)`` — the self-supervised objective on two views
+  (Eq. 3 for SimSiam, Eq. 4 for BarlowTwins);
+- ``align(current, target)`` — the alignment term used by distillation,
+  where ``target`` is a *fixed* numpy array from the old model.  The
+  concrete form varies with the objective (Sec. II-B2: "the concrete
+  definition of L_dis varies with different L_css").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.ssl.encoder import Encoder
+from repro.tensor.tensor import Tensor
+
+
+class CSSLObjective(Module):
+    """Base class for SimSiam / BarlowTwins objectives."""
+
+    def __init__(self, encoder: Encoder):
+        super().__init__()
+        self.encoder = encoder
+
+    @property
+    def representation_dim(self) -> int:
+        return self.encoder.output_dim
+
+    def representation(self, x) -> Tensor:
+        """Current-model representation of a batch (with gradient)."""
+        return self.encoder(x)
+
+    def css_loss(self, x1: np.ndarray, x2: np.ndarray) -> Tensor:
+        """Self-supervised loss on two augmented views of the same batch."""
+        raise NotImplementedError
+
+    def align(self, current: Tensor, target: np.ndarray) -> Tensor:
+        """Alignment loss pulling ``current`` toward the fixed ``target``."""
+        raise NotImplementedError

@@ -1,0 +1,85 @@
+"""BYOL (Grill et al. 2020) — extension objective beyond the paper's two.
+
+The paper's Sec. II-A cites BYOL among the modern CSSL family; this module
+adds it so the Table VI objective-swap experiment can be extended to a third
+loss.  BYOL predicts the representation of one view from the other, but the
+target comes from a *momentum (EMA) copy* of the encoder rather than a
+stop-gradient of the live one:
+
+``L = || normalize(h(f(x1))) - normalize(f_ema(x2)) ||^2`` (symmetrized).
+
+The EMA target network is refreshed at the start of every ``css_loss`` call
+(i.e. once per training step), which matches the usual per-step momentum
+update without requiring optimizer hooks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.mlp import MLP
+from repro.ssl.base import CSSLObjective
+from repro.ssl.encoder import Encoder
+from repro.tensor import ops
+from repro.tensor.tensor import Tensor, no_grad
+
+
+class BYOL(CSSLObjective):
+    """BYOL objective with momentum coefficient ``tau``."""
+
+    def __init__(self, encoder: Encoder, tau: float = 0.99,
+                 predictor_hidden: int | None = None,
+                 rng: np.random.Generator | None = None):
+        super().__init__(encoder)
+        if not 0.0 <= tau < 1.0:
+            raise ValueError("tau must be in [0, 1)")
+        rng = rng or np.random.default_rng()
+        d = encoder.output_dim
+        hidden = predictor_hidden or max(d // 4, 4)
+        self.predictor = MLP([d, hidden, d], batch_norm=True, rng=rng)
+        self.tau = tau
+        self._target = encoder.copy()
+        self._target.eval()
+
+    def __setattr__(self, name, value):
+        # The EMA target is deliberately NOT a registered submodule: its
+        # parameters must never reach the optimizer.
+        if name == "_target":
+            object.__setattr__(self, name, value)
+            return
+        super().__setattr__(name, value)
+
+    def momentum_update(self) -> None:
+        """``theta_target <- tau * theta_target + (1 - tau) * theta_online``."""
+        online = dict(self.encoder.named_parameters())
+        for name, target_param in self._target.named_parameters():
+            target_param.data = (self.tau * target_param.data
+                                 + (1.0 - self.tau) * online[name].data)
+        online_buffers = dict(self.encoder.named_buffers())
+        for name, buf in self._target.named_buffers():
+            # Running stats track the online network directly.
+            np.copyto(buf, online_buffers[name])
+
+    def target_representation(self, x: np.ndarray) -> np.ndarray:
+        with no_grad():
+            return self._target(Tensor(x)).numpy()
+
+    @staticmethod
+    def _normalized_mse(prediction: Tensor, target: np.ndarray) -> Tensor:
+        p = ops.l2_normalize(prediction, axis=1)
+        t = ops.l2_normalize(Tensor(target), axis=1)
+        diff = p - t
+        return (diff * diff).sum(axis=1).mean()
+
+    def css_loss(self, x1: np.ndarray, x2: np.ndarray) -> Tensor:
+        self.momentum_update()
+        p1 = self.predictor(self.encoder(x1))
+        p2 = self.predictor(self.encoder(x2))
+        t1 = self.target_representation(x1)
+        t2 = self.target_representation(x2)
+        return (self._normalized_mse(p1, t2) + self._normalized_mse(p2, t1)) * 0.5
+
+    def align(self, current: Tensor, target: np.ndarray) -> Tensor:
+        """BYOL-style alignment for distillation: normalized MSE through
+        the predictor (equivalent to negative cosine up to an affine map)."""
+        return self._normalized_mse(self.predictor(current), target)

@@ -1,0 +1,62 @@
+"""Reverse-mode automatic differentiation on numpy arrays.
+
+This package is the computational substrate of the reproduction: a small but
+complete autograd engine in the spirit of PyTorch's eager autograd.  The
+:class:`~repro.tensor.tensor.Tensor` class wraps a ``numpy.ndarray`` and
+records the operations applied to it; :meth:`Tensor.backward` replays the
+recorded graph in reverse topological order and accumulates gradients.
+
+Design notes
+------------
+- Broadcasting follows numpy semantics; gradients of broadcast operands are
+  reduced back to the operand shape (see ``_unbroadcast``).
+- ``Tensor.detach()`` implements the paper's stop-gradient ``sg(.)`` operator
+  (Eq. 3 of the paper) exactly: it returns a view of the same data with the
+  tape cut.
+- ``no_grad()`` disables tape recording for inference-only code paths
+  (evaluation, data selection, memory snapshots).
+"""
+
+from repro.tensor.tensor import Tensor, no_grad, is_grad_enabled, tensor
+from repro.tensor import ops
+from repro.tensor.ops import (
+    concatenate,
+    stack,
+    where,
+    maximum,
+    minimum,
+    exp,
+    log,
+    sqrt,
+    tanh,
+    sigmoid,
+    relu,
+    softmax,
+    log_softmax,
+    l2_normalize,
+)
+from repro.tensor.gradcheck import numerical_gradient, check_gradients
+
+__all__ = [
+    "Tensor",
+    "tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "ops",
+    "concatenate",
+    "stack",
+    "where",
+    "maximum",
+    "minimum",
+    "exp",
+    "log",
+    "sqrt",
+    "tanh",
+    "sigmoid",
+    "relu",
+    "softmax",
+    "log_softmax",
+    "l2_normalize",
+    "numerical_gradient",
+    "check_gradients",
+]

@@ -1,0 +1,138 @@
+"""Functional operations on :class:`~repro.tensor.tensor.Tensor`.
+
+These are free functions (rather than methods) either because they take
+multiple tensors (``concatenate``, ``stack``, ``where``) or because they are
+composite conveniences used widely across the library (``softmax``,
+``l2_normalize``).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.tensor.tensor import Tensor
+
+
+def exp(x: Tensor) -> Tensor:
+    data = np.exp(x.data)
+    return Tensor.from_op(data, [(x, lambda g: g * data)], op="exp")
+
+
+def log(x: Tensor) -> Tensor:
+    data = np.log(x.data)
+    return Tensor.from_op(data, [(x, lambda g: g / x.data)], op="log")
+
+
+def sqrt(x: Tensor) -> Tensor:
+    data = np.sqrt(x.data)
+    return Tensor.from_op(data, [(x, lambda g: g * 0.5 / data)], op="sqrt")
+
+
+def tanh(x: Tensor) -> Tensor:
+    data = np.tanh(x.data)
+    return Tensor.from_op(data, [(x, lambda g: g * (1.0 - data * data))], op="tanh")
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    data = 1.0 / (1.0 + np.exp(-x.data))
+    return Tensor.from_op(data, [(x, lambda g: g * data * (1.0 - data))], op="sigmoid")
+
+
+def relu(x: Tensor) -> Tensor:
+    data = np.maximum(x.data, 0.0)
+    mask = x.data > 0
+
+    def grad_fn(g: np.ndarray) -> np.ndarray:
+        return g * mask
+
+    return Tensor.from_op(data, [(x, grad_fn)], op="relu")
+
+
+def leaky_relu(x: Tensor, negative_slope: float = 0.01) -> Tensor:
+    data = np.where(x.data > 0, x.data, negative_slope * x.data)
+    slope = np.where(x.data > 0, 1.0, negative_slope).astype(x.data.dtype)
+    return Tensor.from_op(data, [(x, lambda g: g * slope)], op="leaky_relu")
+
+
+def maximum(a: Tensor, b: Tensor) -> Tensor:
+    from repro.tensor.tensor import _unbroadcast
+
+    data = np.maximum(a.data, b.data)
+    a_wins = (a.data >= b.data).astype(a.data.dtype)
+    return Tensor.from_op(data, [
+        (a, lambda g: _unbroadcast(g * a_wins, a.shape)),
+        (b, lambda g: _unbroadcast(g * (1.0 - a_wins), b.shape)),
+    ], op="maximum")
+
+
+def minimum(a: Tensor, b: Tensor) -> Tensor:
+    return -maximum(-a, -b)
+
+
+def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
+    """Differentiable select; ``condition`` is a plain boolean array."""
+    from repro.tensor.tensor import _unbroadcast
+
+    cond = np.asarray(condition)
+    data = np.where(cond, a.data, b.data)
+    return Tensor.from_op(data, [
+        (a, lambda g: _unbroadcast(np.where(cond, g, 0.0), a.shape)),
+        (b, lambda g: _unbroadcast(np.where(cond, 0.0, g), b.shape)),
+    ], op="where")
+
+
+def concatenate(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    data = np.concatenate([t.data for t in tensors], axis=axis)
+    offsets = np.cumsum([0] + [t.shape[axis] for t in tensors])
+    parents = []
+    for i, t in enumerate(tensors):
+        start, stop = offsets[i], offsets[i + 1]
+
+        def grad_fn(g: np.ndarray, start=start, stop=stop) -> np.ndarray:
+            slicer = [slice(None)] * g.ndim
+            slicer[axis] = slice(start, stop)
+            return g[tuple(slicer)]
+
+        parents.append((t, grad_fn))
+    return Tensor.from_op(data, parents, op="concat")
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    data = np.stack([t.data for t in tensors], axis=axis)
+    parents = []
+    for i, t in enumerate(tensors):
+        def grad_fn(g: np.ndarray, i=i) -> np.ndarray:
+            return np.take(g, i, axis=axis)
+
+        parents.append((t, grad_fn))
+    return Tensor.from_op(data, parents, op="stack")
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    shifted = x - x.max(axis=axis, keepdims=True).detach()
+    exps = exp(shifted)
+    return exps / exps.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    shifted = x - x.max(axis=axis, keepdims=True).detach()
+    return shifted - log(exp(shifted).sum(axis=axis, keepdims=True))
+
+
+def l2_normalize(x: Tensor, axis: int = -1, eps: float = 1e-12) -> Tensor:
+    """Normalize rows to unit Euclidean norm (used by cosine similarities)."""
+    norm = sqrt((x * x).sum(axis=axis, keepdims=True) + eps)
+    return x / norm
+
+
+def mse(a: Tensor, b: Tensor) -> Tensor:
+    """Mean squared error between two tensors (DER's distillation loss)."""
+    diff = a - b
+    return (diff * diff).mean()
+
+
+def cosine_similarity(a: Tensor, b: Tensor, axis: int = -1) -> Tensor:
+    """Row-wise cosine similarity."""
+    return (l2_normalize(a, axis=axis) * l2_normalize(b, axis=axis)).sum(axis=axis)

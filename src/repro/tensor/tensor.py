@@ -1,0 +1,424 @@
+"""The :class:`Tensor` class: a numpy array with a gradient tape.
+
+The engine is deliberately simple: every differentiable operation creates a
+new :class:`Tensor` whose ``_parents`` holds ``(parent, grad_fn)`` pairs.
+``grad_fn`` maps the gradient of the output to the gradient contribution for
+that parent.  ``backward()`` walks the graph once in reverse topological
+order, so each node's backward function runs exactly once even for diamond-
+shaped graphs.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+DEFAULT_DTYPE = np.float32
+
+_GRAD_ENABLED = True
+
+
+def is_grad_enabled() -> bool:
+    """Return whether operations are currently being recorded on the tape."""
+    return _GRAD_ENABLED
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager that disables gradient recording.
+
+    Used for evaluation, representation extraction for data selection, and
+    snapshotting the old model's outputs during distillation.
+    """
+    global _GRAD_ENABLED
+    previous = _GRAD_ENABLED
+    _GRAD_ENABLED = False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = previous
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Reduce ``grad`` so it matches ``shape`` after numpy broadcasting.
+
+    Sums over the leading axes that were added by broadcasting, then over
+    axes whose original extent was 1.
+    """
+    if grad.shape == shape:
+        return grad
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    axes = tuple(i for i, dim in enumerate(shape) if dim == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+def _as_array(value, dtype=DEFAULT_DTYPE) -> np.ndarray:
+    if isinstance(value, np.ndarray):
+        # Preserve floating dtypes (float64 graphs are used by gradcheck);
+        # promote anything else (ints, bools) to the default float dtype.
+        if np.issubdtype(value.dtype, np.floating):
+            return value
+        return value.astype(dtype)
+    if isinstance(value, np.floating):
+        return np.asarray(value)
+    return np.asarray(value, dtype=dtype)
+
+
+class Tensor:
+    """A numpy-backed tensor that records operations for reverse-mode AD.
+
+    Parameters
+    ----------
+    data:
+        Array-like payload; converted to ``float32`` unless already a numpy
+        array of the requested dtype.
+    requires_grad:
+        Whether gradients should be accumulated into ``self.grad`` during
+        :meth:`backward`.
+    """
+
+    __slots__ = ("data", "requires_grad", "grad", "_parents", "_op")
+
+    def __init__(self, data, requires_grad: bool = False, *, _parents=(), _op: str = ""):
+        self.data = _as_array(data)
+        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self.grad: np.ndarray | None = None
+        self._parents: tuple = _parents if self.requires_grad or _parents else ()
+        self._op = _op
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_op(data: np.ndarray, parents: Sequence[tuple["Tensor", Callable]], op: str = "") -> "Tensor":
+        """Create the result of a differentiable primitive.
+
+        ``parents`` is a sequence of ``(tensor, grad_fn)`` pairs where
+        ``grad_fn(output_grad) -> parent_grad``.  The result requires grad iff
+        recording is enabled and any parent requires grad; otherwise the tape
+        is not extended.
+        """
+        if _GRAD_ENABLED and any(p.requires_grad for p, _fn in parents):
+            out = Tensor(data, requires_grad=True,
+                         _parents=tuple((p, fn) for p, fn in parents if p.requires_grad),
+                         _op=op)
+        else:
+            out = Tensor(data, requires_grad=False)
+        return out
+
+    @staticmethod
+    def zeros(*shape: int, requires_grad: bool = False) -> "Tensor":
+        return Tensor(np.zeros(shape, dtype=DEFAULT_DTYPE), requires_grad=requires_grad)
+
+    @staticmethod
+    def ones(*shape: int, requires_grad: bool = False) -> "Tensor":
+        return Tensor(np.ones(shape, dtype=DEFAULT_DTYPE), requires_grad=requires_grad)
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (shared, not copied)."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data)
+
+    def detach(self) -> "Tensor":
+        """Return a tensor sharing this data but cut from the tape.
+
+        This is the paper's stop-gradient operator ``sg(.)``.
+        """
+        return Tensor(self.data, requires_grad=False)
+
+    def copy(self) -> "Tensor":
+        return Tensor(self.data.copy(), requires_grad=False)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def __repr__(self) -> str:
+        grad_tag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}, op={self._op or 'leaf'}{grad_tag})"
+
+    # ------------------------------------------------------------------
+    # Autodiff driver
+    # ------------------------------------------------------------------
+    def backward(self, grad: np.ndarray | None = None) -> None:
+        """Back-propagate from this tensor through the recorded graph.
+
+        Parameters
+        ----------
+        grad:
+            Seed gradient.  Defaults to 1 for scalar outputs; required for
+            non-scalar outputs.
+        """
+        if not self.requires_grad:
+            raise RuntimeError("backward() called on a tensor that does not require grad")
+        if grad is None:
+            if self.size != 1:
+                raise RuntimeError("backward() on a non-scalar tensor requires an explicit gradient")
+            grad = np.ones_like(self.data)
+        grad = _as_array(grad, self.data.dtype)
+
+        order: list[Tensor] = []
+        seen: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+            stack.append((node, True))
+            for parent, _fn in node._parents:
+                if id(parent) not in seen:
+                    stack.append((parent, False))
+
+        grads: dict[int, np.ndarray] = {id(self): grad}
+        for node in reversed(order):
+            node_grad = grads.pop(id(node), None)
+            if node_grad is None:
+                continue
+            if not node._parents:
+                # Leaf: accumulate into .grad
+                if node.grad is None:
+                    node.grad = node_grad.copy()
+                else:
+                    node.grad = node.grad + node_grad
+                continue
+            for parent, fn in node._parents:
+                contribution = fn(node_grad)
+                if contribution is None:
+                    continue
+                key = id(parent)
+                if key in grads:
+                    grads[key] = grads[key] + contribution
+                else:
+                    grads[key] = contribution
+            # interior nodes may also be leaves of interest (rare); keep grads only for leaves
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+    def _coerce(self, other) -> "Tensor":
+        return other if isinstance(other, Tensor) else Tensor(other)
+
+    def __add__(self, other) -> "Tensor":
+        other = self._coerce(other)
+        data = self.data + other.data
+        return Tensor.from_op(data, [
+            (self, lambda g: _unbroadcast(g, self.shape)),
+            (other, lambda g: _unbroadcast(g, other.shape)),
+        ], op="add")
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        return Tensor.from_op(-self.data, [(self, lambda g: -g)], op="neg")
+
+    def __sub__(self, other) -> "Tensor":
+        other = self._coerce(other)
+        data = self.data - other.data
+        return Tensor.from_op(data, [
+            (self, lambda g: _unbroadcast(g, self.shape)),
+            (other, lambda g: _unbroadcast(-g, other.shape)),
+        ], op="sub")
+
+    def __rsub__(self, other) -> "Tensor":
+        return self._coerce(other).__sub__(self)
+
+    def __mul__(self, other) -> "Tensor":
+        other = self._coerce(other)
+        data = self.data * other.data
+        return Tensor.from_op(data, [
+            (self, lambda g: _unbroadcast(g * other.data, self.shape)),
+            (other, lambda g: _unbroadcast(g * self.data, other.shape)),
+        ], op="mul")
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other) -> "Tensor":
+        other = self._coerce(other)
+        data = self.data / other.data
+        return Tensor.from_op(data, [
+            (self, lambda g: _unbroadcast(g / other.data, self.shape)),
+            (other, lambda g: _unbroadcast(-g * self.data / (other.data ** 2), other.shape)),
+        ], op="div")
+
+    def __rtruediv__(self, other) -> "Tensor":
+        return self._coerce(other).__truediv__(self)
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not isinstance(exponent, (int, float)):
+            raise TypeError("Tensor.__pow__ supports scalar exponents only")
+        data = self.data ** exponent
+        return Tensor.from_op(data, [
+            (self, lambda g: g * exponent * self.data ** (exponent - 1)),
+        ], op="pow")
+
+    def __matmul__(self, other) -> "Tensor":
+        other = self._coerce(other)
+        data = self.data @ other.data
+
+        def grad_left(g: np.ndarray) -> np.ndarray:
+            if other.data.ndim == 1:
+                return np.outer(g, other.data) if self.data.ndim == 2 else g * other.data
+            return _unbroadcast(g @ np.swapaxes(other.data, -1, -2), self.shape)
+
+        def grad_right(g: np.ndarray) -> np.ndarray:
+            if self.data.ndim == 1:
+                return np.outer(self.data, g) if other.data.ndim == 2 else g * self.data
+            return _unbroadcast(np.swapaxes(self.data, -1, -2) @ g, other.shape)
+
+        return Tensor.from_op(data, [(self, grad_left), (other, grad_right)], op="matmul")
+
+    # Comparisons produce plain numpy bool arrays (non-differentiable).
+    def __gt__(self, other):
+        other_data = other.data if isinstance(other, Tensor) else other
+        return self.data > other_data
+
+    def __lt__(self, other):
+        other_data = other.data if isinstance(other, Tensor) else other
+        return self.data < other_data
+
+    def __ge__(self, other):
+        other_data = other.data if isinstance(other, Tensor) else other
+        return self.data >= other_data
+
+    def __le__(self, other):
+        other_data = other.data if isinstance(other, Tensor) else other
+        return self.data <= other_data
+
+    # ------------------------------------------------------------------
+    # Shape manipulation
+    # ------------------------------------------------------------------
+    def reshape(self, *shape: int) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        original = self.shape
+        data = self.data.reshape(shape)
+        return Tensor.from_op(data, [(self, lambda g: g.reshape(original))], op="reshape")
+
+    def flatten(self, start_dim: int = 0) -> "Tensor":
+        shape = self.shape[:start_dim] + (-1,)
+        return self.reshape(*shape)
+
+    def transpose(self, *axes: int) -> "Tensor":
+        if not axes:
+            axes = tuple(reversed(range(self.ndim)))
+        inverse = np.argsort(axes)
+        data = self.data.transpose(axes)
+        return Tensor.from_op(data, [(self, lambda g: g.transpose(inverse))], op="transpose")
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def __getitem__(self, index) -> "Tensor":
+        data = self.data[index]
+        shape = self.shape
+        dtype = self.data.dtype
+
+        def grad_fn(g: np.ndarray) -> np.ndarray:
+            full = np.zeros(shape, dtype=dtype)
+            np.add.at(full, index, g)
+            return full
+
+        return Tensor.from_op(data, [(self, grad_fn)], op="getitem")
+
+    # ------------------------------------------------------------------
+    # Reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        data = self.data.sum(axis=axis, keepdims=keepdims)
+        shape = self.shape
+
+        def grad_fn(g: np.ndarray) -> np.ndarray:
+            if axis is None:
+                return np.broadcast_to(g, shape).astype(g.dtype)
+            g_expanded = g if keepdims else np.expand_dims(g, axis)
+            return np.broadcast_to(g_expanded, shape).astype(g.dtype)
+
+        return Tensor.from_op(data, [(self, grad_fn)], op="sum")
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.size
+        elif isinstance(axis, tuple):
+            count = int(np.prod([self.shape[a] for a in axis]))
+        else:
+            count = self.shape[axis]
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def var(self, axis=None, keepdims: bool = False) -> "Tensor":
+        centered = self - self.mean(axis=axis, keepdims=True)
+        return (centered * centered).mean(axis=axis, keepdims=keepdims)
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        data = self.data.max(axis=axis, keepdims=keepdims)
+        shape = self.shape
+
+        def grad_fn(g: np.ndarray) -> np.ndarray:
+            if axis is None:
+                mask = (self.data == data).astype(g.dtype)
+                mask /= mask.sum()
+                return mask * g
+            expanded = data if keepdims else np.expand_dims(data, axis)
+            mask = (self.data == expanded).astype(g.dtype)
+            mask /= mask.sum(axis=axis, keepdims=True)
+            g_expanded = g if keepdims else np.expand_dims(g, axis)
+            return mask * g_expanded
+
+        return Tensor.from_op(data, [(self, grad_fn)], op="max")
+
+    def min(self, axis=None, keepdims: bool = False) -> "Tensor":
+        return -((-self).max(axis=axis, keepdims=keepdims))
+
+    def abs(self) -> "Tensor":
+        data = np.abs(self.data)
+        return Tensor.from_op(data, [(self, lambda g: g * np.sign(self.data))], op="abs")
+
+    def trace(self) -> "Tensor":
+        """Trace of the trailing 2-D matrix (used by the Barlow loss)."""
+        if self.ndim != 2:
+            raise ValueError("trace() expects a 2-D tensor")
+        data = np.trace(self.data)
+        n = self.shape[0]
+
+        def grad_fn(g: np.ndarray) -> np.ndarray:
+            return np.eye(n, self.shape[1], dtype=self.data.dtype) * g
+
+        return Tensor.from_op(np.asarray(data, dtype=self.data.dtype), [(self, grad_fn)], op="trace")
+
+
+def tensor(data, requires_grad: bool = False) -> Tensor:
+    """Convenience constructor mirroring ``torch.tensor``."""
+    return Tensor(data, requires_grad=requires_grad)

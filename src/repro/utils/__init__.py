@@ -1,0 +1,25 @@
+"""Shared utilities: seeding, multi-seed aggregation, table rendering."""
+
+from repro.utils.rng import spawn_rngs, seed_everything
+from repro.utils.results import AggregateResult, aggregate_runs, run_seeds
+from repro.utils.report import build_report, collect_results, write_report
+from repro.utils.serialization import load_model, load_result, save_model, save_result
+from repro.utils.tables import format_table, format_series, format_heatmap
+
+__all__ = [
+    "spawn_rngs",
+    "seed_everything",
+    "AggregateResult",
+    "aggregate_runs",
+    "run_seeds",
+    "save_model",
+    "load_model",
+    "save_result",
+    "load_result",
+    "collect_results",
+    "build_report",
+    "write_report",
+    "format_table",
+    "format_series",
+    "format_heatmap",
+]

@@ -1,0 +1,86 @@
+"""Markdown experiment reports from saved results.
+
+Workflow: runs are saved with :func:`repro.utils.serialization.save_result`
+(or the CLI's ``--output``); :func:`build_report` collects a directory of
+those JSON files into one markdown document — comparison table, per-method
+accuracy matrices, and forgetting summaries — so an experiment sweep turns
+into a reviewable artifact without this library installed on the reader's
+side.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from collections import defaultdict
+
+import numpy as np
+
+from repro.eval.metrics import ContinualResult
+from repro.utils.serialization import load_result
+
+
+def collect_results(directory: str | pathlib.Path) -> dict[str, list[ContinualResult]]:
+    """Load every ``*.json`` result in ``directory``, grouped by run name."""
+    directory = pathlib.Path(directory)
+    grouped: dict[str, list[ContinualResult]] = defaultdict(list)
+    for path in sorted(directory.glob("*.json")):
+        result = load_result(path)
+        grouped[result.name].append(result)
+    return dict(grouped)
+
+
+def _matrix_markdown(result: ContinualResult) -> str:
+    n = result.n_tasks
+    header = "| after \\ on | " + " | ".join(str(j + 1) for j in range(n)) + " |"
+    divider = "|" + "---|" * (n + 1)
+    rows = []
+    for i in range(n):
+        cells = []
+        for j in range(n):
+            value = result.accuracy_matrix[i, j]
+            cells.append("." if np.isnan(value) else f"{100 * value:.1f}")
+        rows.append(f"| {i + 1} | " + " | ".join(cells) + " |")
+    return "\n".join([header, divider] + rows)
+
+
+def build_report(directory: str | pathlib.Path, title: str = "Experiment report") -> str:
+    """Render all saved results in ``directory`` as one markdown document."""
+    grouped = collect_results(directory)
+    if not grouped:
+        raise ValueError(f"no result JSON files found in {directory}")
+
+    lines = [f"# {title}", ""]
+    lines.append("## Summary")
+    lines.append("")
+    lines.append("| method | runs | Acc % (mean ± std) | Fgt % (mean ± std) | time s |")
+    lines.append("|---|---|---|---|---|")
+    for name in sorted(grouped, key=lambda n: -np.mean([r.acc() for r in grouped[n]])):
+        results = grouped[name]
+        accs = np.array([r.acc() for r in results])
+        fgts = np.array([r.fgt() for r in results])
+        seconds = np.mean([r.elapsed_seconds for r in results])
+        lines.append(
+            f"| {name} | {len(results)} "
+            f"| {100 * accs.mean():.2f} ± {100 * accs.std():.2f} "
+            f"| {100 * fgts.mean():.2f} ± {100 * fgts.std():.2f} "
+            f"| {seconds:.1f} |")
+    lines.append("")
+
+    for name in sorted(grouped):
+        representative = grouped[name][0]
+        lines.append(f"## {name}")
+        lines.append("")
+        lines.append(f"Accuracy matrix of the first run (Acc {100 * representative.acc():.2f}%, "
+                     f"Fgt {100 * representative.fgt():.2f}%):")
+        lines.append("")
+        lines.append(_matrix_markdown(representative))
+        lines.append("")
+    return "\n".join(lines)
+
+
+def write_report(directory: str | pathlib.Path, output: str | pathlib.Path,
+                 title: str = "Experiment report") -> pathlib.Path:
+    """Build the report and write it to ``output``; returns the path."""
+    output = pathlib.Path(output)
+    output.write_text(build_report(directory, title))
+    return output

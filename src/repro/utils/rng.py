@@ -1,0 +1,21 @@
+"""Deterministic randomness plumbing.
+
+Every stochastic component in the library takes an explicit
+``numpy.random.Generator``; these helpers fan a root seed out into
+independent streams so adding a component never perturbs another's draws.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def spawn_rngs(seed: int, n: int) -> list[np.random.Generator]:
+    """``n`` statistically independent generators from one root seed."""
+    sequence = np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in sequence.spawn(n)]
+
+
+def seed_everything(seed: int) -> np.random.Generator:
+    """Root generator for a run (the library never touches global state)."""
+    return np.random.default_rng(seed)

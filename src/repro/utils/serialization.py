@@ -1,0 +1,61 @@
+"""Saving and loading models and experiment results.
+
+Model state dicts go to ``.npz`` (pure arrays); continual results go to
+``.json`` with the accuracy matrix inlined, so downstream analysis does not
+need this library installed.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import numpy as np
+
+from repro.eval.metrics import ContinualResult
+from repro.nn.module import Module
+
+
+def save_model(module: Module, path: str | pathlib.Path) -> None:
+    """Serialize a module's state dict to a compressed ``.npz`` archive."""
+    state = module.state_dict()
+    # npz keys may not contain '/'; state-dict names never do, but be safe.
+    np.savez_compressed(str(path), **state)
+
+
+def load_model(module: Module, path: str | pathlib.Path) -> Module:
+    """Restore a module's parameters and buffers from :func:`save_model`."""
+    with np.load(str(path)) as archive:
+        state = {key: archive[key] for key in archive.files}
+    module.load_state_dict(state)
+    return module
+
+
+def save_result(result: ContinualResult, path: str | pathlib.Path) -> None:
+    """Write a continual run's metrics and matrix to JSON."""
+    payload = {
+        "name": result.name,
+        "n_tasks": result.n_tasks,
+        "acc": result.acc(),
+        "fgt": result.fgt(),
+        "elapsed_seconds": result.elapsed_seconds,
+        "accuracy_matrix": [
+            [None if np.isnan(v) else float(v) for v in row]
+            for row in result.accuracy_matrix
+        ],
+    }
+    pathlib.Path(path).write_text(json.dumps(payload, indent=2))
+
+
+def load_result(path: str | pathlib.Path) -> ContinualResult:
+    """Rebuild a :class:`ContinualResult` from :func:`save_result` output."""
+    payload = json.loads(pathlib.Path(path).read_text())
+    result = ContinualResult(payload["n_tasks"], name=payload["name"])
+    matrix = payload["accuracy_matrix"]
+    for i in range(payload["n_tasks"]):
+        row = [matrix[i][j] for j in range(i + 1)]
+        if any(v is None for v in row):
+            break
+        result.record_row(row)
+    result.elapsed_seconds = payload["elapsed_seconds"]
+    return result

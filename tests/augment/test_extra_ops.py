@@ -1,0 +1,91 @@
+"""Tests for the Sec. II-A1 example ops: cutout, rotate, resize."""
+
+import numpy as np
+import pytest
+
+from repro.augment import Compose, Cutout, RandomResizedZoom, RandomRotate90
+
+
+@pytest.fixture
+def images(rng):
+    return rng.uniform(0.1, 1.0, size=(6, 3, 8, 8)).astype(np.float32)
+
+
+class TestCutout:
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            Cutout(size=0)
+
+    def test_size_exceeding_image_raises(self, images, rng):
+        with pytest.raises(ValueError):
+            Cutout(size=9)(images, rng)
+
+    def test_zeroes_exactly_one_patch(self, images, rng):
+        out = Cutout(size=3, p=1.0)(images, rng)
+        for i in range(len(images)):
+            zeros = (out[i] == 0.0).sum()
+            assert zeros == 3 * 3 * 3  # size^2 per channel
+
+    def test_p_zero_identity(self, images, rng):
+        np.testing.assert_array_equal(Cutout(size=2, p=0.0)(images, rng), images)
+
+    def test_custom_fill_value(self, images, rng):
+        out = Cutout(size=2, p=1.0, fill=0.5)(images, rng)
+        assert (out == 0.5).any()
+
+    def test_does_not_mutate_input(self, images, rng):
+        original = images.copy()
+        Cutout(size=2, p=1.0)(images, rng)
+        np.testing.assert_array_equal(images, original)
+
+
+class TestRotate90:
+    def test_preserves_pixel_multiset(self, images, rng):
+        out = RandomRotate90(p=1.0)(images, rng)
+        for i in range(len(images)):
+            np.testing.assert_allclose(np.sort(out[i].ravel()),
+                                       np.sort(images[i].ravel()))
+
+    def test_actually_rotates(self, images, rng):
+        out = RandomRotate90(p=1.0)(images, rng)
+        assert not np.allclose(out, images)
+
+    def test_p_zero_identity(self, images, rng):
+        np.testing.assert_array_equal(RandomRotate90(p=0.0)(images, rng), images)
+
+    def test_four_applications_can_restore(self):
+        """k quarter turns compose: rot90^4 == identity."""
+        x = np.arange(48, dtype=np.float32).reshape(1, 3, 4, 4)
+        rotated = x
+        for _ in range(4):
+            rotated = np.stack([np.rot90(rotated[0], k=1, axes=(1, 2))])
+        np.testing.assert_array_equal(rotated, x)
+
+
+class TestResizedZoom:
+    def test_invalid_scale_range(self):
+        with pytest.raises(ValueError):
+            RandomResizedZoom(scale_range=(0.0, 1.0))
+        with pytest.raises(ValueError):
+            RandomResizedZoom(scale_range=(0.8, 0.5))
+
+    def test_preserves_shape_and_range(self, images, rng):
+        out = RandomResizedZoom(p=1.0)(images, rng)
+        assert out.shape == images.shape
+        assert out.min() >= images.min() - 1e-6
+        assert out.max() <= images.max() + 1e-6
+
+    def test_values_come_from_source_image(self, images, rng):
+        out = RandomResizedZoom(scale_range=(0.5, 0.5), p=1.0)(images, rng)
+        for i in range(len(images)):
+            assert np.isin(out[i].ravel(), images[i].ravel()).all()
+
+    def test_scale_one_is_identity(self, images, rng):
+        out = RandomResizedZoom(scale_range=(1.0, 1.0), p=1.0)(images, rng)
+        np.testing.assert_array_equal(out, images)
+
+    def test_composes_with_standard_pipeline(self, images, rng):
+        pipeline = Compose([Cutout(2, p=1.0), RandomRotate90(p=1.0),
+                            RandomResizedZoom(p=1.0)])
+        out = pipeline(images, rng)
+        assert out.shape == images.shape

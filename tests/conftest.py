@@ -1,0 +1,33 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.continual.config import ContinualConfig
+from repro.data.splits import TaskSequence, class_incremental_split
+from repro.data.synthetic import SyntheticImageConfig, make_image_dataset
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def tiny_sequence() -> TaskSequence:
+    """A 3-task, 6-class image sequence small enough for per-test training."""
+    config = SyntheticImageConfig(
+        n_classes=6, train_per_class=20, test_per_class=10,
+        image_size=8, seed=7, name="tiny")
+    train, test = make_image_dataset(config)
+    return class_incremental_split(train, test, 3)
+
+
+@pytest.fixture(scope="session")
+def fast_config() -> ContinualConfig:
+    """Config that trains in about a second per task."""
+    return ContinualConfig(
+        epochs=2, batch_size=16, representation_dim=16,
+        memory_budget=12, replay_batch_size=8, noise_neighbors=5, knn_k=5)

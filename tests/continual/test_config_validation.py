@@ -1,0 +1,29 @@
+"""Config validation tests."""
+
+import pytest
+
+from repro.continual import ContinualConfig
+
+
+class TestValidation:
+    @pytest.mark.parametrize("field,value", [
+        ("epochs", 0),
+        ("batch_size", 1),
+        ("lr", 0.0),
+        ("lr", -0.1),
+        ("memory_budget", -1),
+        ("replay_batch_size", -1),
+        ("noise_neighbors", -5),
+        ("representation_dim", 1),
+    ])
+    def test_rejects_invalid_values(self, field, value):
+        with pytest.raises(ValueError):
+            ContinualConfig(**{field: value})
+
+    def test_with_overrides_also_validates(self):
+        config = ContinualConfig()
+        with pytest.raises(ValueError):
+            config.with_overrides(epochs=0)
+
+    def test_boundary_values_accepted(self):
+        ContinualConfig(memory_budget=0, replay_batch_size=0, noise_neighbors=0)

@@ -1,0 +1,76 @@
+"""Trainer contract tests: hook ordering, per-task lifecycle, verbosity."""
+
+import numpy as np
+import pytest
+
+from repro.continual import ContinualTrainer, build_objective
+from repro.continual.method import ContinualMethod
+
+
+class SpyMethod(ContinualMethod):
+    """Records every lifecycle call the trainer makes."""
+
+    name = "spy"
+
+    def __init__(self, objective, config, rng):
+        super().__init__(objective, config, rng)
+        self.calls: list[str] = []
+
+    def begin_task(self, task, task_index, n_tasks):
+        self.calls.append(f"begin:{task_index}:{n_tasks}")
+
+    def end_task(self, task, task_index):
+        self.calls.append(f"end:{task_index}")
+
+    def batch_loss(self, view1, view2, raw):
+        self.calls.append("batch")
+        return super().batch_loss(view1, view2, raw)
+
+    def before_step(self):
+        self.calls.append("before")
+
+    def after_step(self):
+        self.calls.append("after")
+
+
+class TestLifecycle:
+    @pytest.fixture
+    def spy_run(self, tiny_sequence, fast_config, rng):
+        objective = build_objective(fast_config, tiny_sequence[0].train.x.shape[1:], rng)
+        method = SpyMethod(objective, fast_config, rng)
+        ContinualTrainer(method, fast_config, rng).run(tiny_sequence)
+        return method.calls
+
+    def test_begin_end_wrap_each_task(self, spy_run):
+        begins = [c for c in spy_run if c.startswith("begin")]
+        ends = [c for c in spy_run if c.startswith("end")]
+        assert begins == ["begin:0:3", "begin:1:3", "begin:2:3"]
+        assert ends == ["end:0", "end:1", "end:2"]
+        # begin:i precedes end:i, which precedes begin:i+1
+        assert spy_run.index("begin:1:3") > spy_run.index("end:0")
+
+    def test_hooks_bracket_every_step(self, spy_run):
+        batches = spy_run.count("batch")
+        assert spy_run.count("before") == batches
+        assert spy_run.count("after") == batches
+        # each batch is followed by before then after
+        for i, call in enumerate(spy_run):
+            if call == "batch":
+                assert spy_run[i + 1] == "before"
+                assert spy_run[i + 2] == "after"
+
+    def test_expected_step_count(self, tiny_sequence, fast_config, spy_run):
+        per_task = len(tiny_sequence[0].train)
+        batches_per_epoch = (per_task + fast_config.batch_size - 1) // fast_config.batch_size
+        expected = batches_per_epoch * fast_config.epochs * len(tiny_sequence)
+        assert spy_run.count("batch") == expected
+
+
+class TestVerbosity:
+    def test_verbose_prints_per_task_line(self, tiny_sequence, fast_config, rng, capsys):
+        objective = build_objective(fast_config, tiny_sequence[0].train.x.shape[1:], rng)
+        method = SpyMethod(objective, fast_config, rng)
+        ContinualTrainer(method, fast_config, rng, verbose=True).run(tiny_sequence)
+        out = capsys.readouterr().out
+        assert out.count("[spy] task") == len(tiny_sequence)
+        assert "Acc=" in out and "Fgt=" in out

@@ -1,0 +1,167 @@
+"""Tests for dataset containers, loaders, and generators."""
+
+import numpy as np
+import pytest
+
+from repro.data import ArrayDataset, DataLoader
+from repro.data.synthetic import SyntheticImageConfig, make_image_dataset
+from repro.data.tabular import TABULAR_PRESETS, TabularConfig, make_tabular_dataset
+
+
+class TestArrayDataset:
+    def test_basic_accessors(self):
+        ds = ArrayDataset(np.zeros((10, 3)), np.arange(10) % 2, name="d")
+        assert len(ds) == 10
+        x, y = ds[3]
+        assert x.shape == (3,)
+        np.testing.assert_array_equal(ds.classes, [0, 1])
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            ArrayDataset(np.zeros((5, 2)), np.zeros(4))
+
+    def test_subset(self):
+        ds = ArrayDataset(np.arange(10)[:, None], np.arange(10))
+        sub = ds.subset([1, 3, 5])
+        assert len(sub) == 3
+        np.testing.assert_array_equal(sub.y, [1, 3, 5])
+
+    def test_filter_classes(self):
+        ds = ArrayDataset(np.zeros((10, 2)), np.arange(10) % 5)
+        filtered = ds.filter_classes([0, 1])
+        assert set(filtered.y.tolist()) == {0, 1}
+        assert len(filtered) == 4
+
+    def test_concatenate(self):
+        a = ArrayDataset(np.zeros((3, 2)), np.zeros(3))
+        b = ArrayDataset(np.ones((2, 2)), np.ones(2))
+        merged = ArrayDataset.concatenate([a, b])
+        assert len(merged) == 5
+        assert set(merged.classes.tolist()) == {0, 1}
+
+    def test_concatenate_empty_raises(self):
+        with pytest.raises(ValueError):
+            ArrayDataset.concatenate([])
+
+
+class TestDataLoader:
+    def _dataset(self, n=25):
+        return ArrayDataset(np.arange(n)[:, None].astype(np.float32), np.zeros(n))
+
+    def test_batch_count_with_and_without_drop_last(self):
+        ds = self._dataset(25)
+        assert len(DataLoader(ds, 10, rng=np.random.default_rng(0))) == 3
+        assert len(DataLoader(ds, 10, drop_last=True, rng=np.random.default_rng(0))) == 2
+
+    def test_covers_all_samples_once(self):
+        ds = self._dataset(25)
+        loader = DataLoader(ds, 10, shuffle=True, rng=np.random.default_rng(0))
+        seen = np.concatenate([x[:, 0] for x, _y in loader])
+        np.testing.assert_array_equal(np.sort(seen), np.arange(25))
+
+    def test_no_shuffle_is_ordered(self):
+        ds = self._dataset(6)
+        loader = DataLoader(ds, 3, shuffle=False, rng=np.random.default_rng(0))
+        first, _ = next(iter(loader))
+        np.testing.assert_array_equal(first[:, 0], [0, 1, 2])
+
+    def test_seeded_shuffle_reproducible(self):
+        ds = self._dataset(20)
+        def order(seed):
+            loader = DataLoader(ds, 20, rng=np.random.default_rng(seed))
+            return next(iter(loader))[0][:, 0]
+        np.testing.assert_array_equal(order(1), order(1))
+        assert not np.array_equal(order(1), order(2))
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            DataLoader(self._dataset(), 0)
+
+
+class TestSyntheticImages:
+    CONFIG = SyntheticImageConfig(n_classes=4, train_per_class=15, test_per_class=5,
+                                  image_size=8, seed=3, name="t")
+
+    def test_shapes_and_ranges(self):
+        train, test = make_image_dataset(self.CONFIG)
+        assert train.x.shape == (60, 3, 8, 8)
+        assert test.x.shape == (20, 3, 8, 8)
+        assert train.x.min() >= 0.0 and train.x.max() <= 1.0
+        assert len(train.classes) == 4
+
+    def test_deterministic_per_seed(self):
+        a, _ = make_image_dataset(self.CONFIG)
+        b, _ = make_image_dataset(self.CONFIG)
+        np.testing.assert_array_equal(a.x, b.x)
+
+    def test_different_seeds_differ(self):
+        from dataclasses import replace
+        a, _ = make_image_dataset(self.CONFIG)
+        b, _ = make_image_dataset(replace(self.CONFIG, seed=99))
+        assert not np.allclose(a.x, b.x)
+
+    def test_classes_are_separable_in_pixels(self):
+        """Nearest-centroid in pixel space must beat chance by a wide margin:
+        the continual benchmark is meaningless if classes are not learnable."""
+        train, test = make_image_dataset(self.CONFIG)
+        centroids = np.stack([train.x[train.y == c].reshape(-1, 192).mean(axis=0)
+                              for c in train.classes])
+        flat = test.x.reshape(len(test), -1)
+        d2 = ((flat[:, None, :] - centroids[None]) ** 2).sum(axis=2)
+        accuracy = (train.classes[d2.argmin(axis=1)] == test.y).mean()
+        assert accuracy > 0.6  # chance is 0.25
+
+    def test_intra_class_std_controls_difficulty(self):
+        from dataclasses import replace
+        easy_train, easy_test = make_image_dataset(replace(self.CONFIG, intra_class_std=0.05))
+        hard_train, hard_test = make_image_dataset(replace(self.CONFIG, intra_class_std=0.8))
+
+        def centroid_accuracy(train, test):
+            centroids = np.stack([train.x[train.y == c].reshape(-1, 192).mean(axis=0)
+                                  for c in train.classes])
+            flat = test.x.reshape(len(test), -1)
+            d2 = ((flat[:, None, :] - centroids[None]) ** 2).sum(axis=2)
+            return (train.classes[d2.argmin(axis=1)] == test.y).mean()
+
+        assert centroid_accuracy(easy_train, easy_test) > centroid_accuracy(hard_train, hard_test)
+
+
+class TestSyntheticTabular:
+    def test_preset_shapes_match_table2(self):
+        """Feature counts and positive rates from Table II of the paper."""
+        assert TABULAR_PRESETS["bank"].n_features == 16
+        assert TABULAR_PRESETS["income"].n_features == 14
+        assert TABULAR_PRESETS["shrutime"].positive_rate == pytest.approx(0.2037)
+        assert TABULAR_PRESETS["blastchar"].size == 7043
+
+    def test_generated_shape_and_split(self):
+        config = TabularConfig("t", size=500, n_features=8, positive_rate=0.2, seed=0)
+        train, test = make_tabular_dataset(config)
+        assert len(train) + len(test) == 500
+        assert len(test) == 100  # 20% split, Sec. IV-A1
+        assert train.x.shape[1] == 8
+
+    def test_positive_rate_approximate(self):
+        config = TabularConfig("t", size=4000, n_features=8, positive_rate=0.25, seed=1)
+        train, test = make_tabular_dataset(config)
+        overall = np.concatenate([train.y, test.y]).mean()
+        assert abs(overall - 0.25) < 0.03
+
+    def test_standardized_features(self):
+        config = TabularConfig("t", size=1000, n_features=6, positive_rate=0.3, seed=2)
+        train, test = make_tabular_dataset(config)
+        full = np.concatenate([train.x, test.x])
+        np.testing.assert_allclose(full.mean(axis=0), 0.0, atol=0.01)
+        np.testing.assert_allclose(full.std(axis=0), 1.0, atol=0.01)
+
+    def test_classes_linearly_separable_above_chance(self):
+        config = TabularConfig("t", size=2000, n_features=10, positive_rate=0.3,
+                               class_separation=2.0, seed=3)
+        train, test = make_tabular_dataset(config)
+        # nearest class-mean classifier
+        mu0 = train.x[train.y == 0].mean(axis=0)
+        mu1 = train.x[train.y == 1].mean(axis=0)
+        pred = (np.linalg.norm(test.x - mu1, axis=1)
+                < np.linalg.norm(test.x - mu0, axis=1)).astype(int)
+        accuracy = (pred == test.y).mean()
+        assert accuracy > 0.75

@@ -1,0 +1,71 @@
+"""Tests for the benchmark registry presets."""
+
+import numpy as np
+import pytest
+
+from repro.data import IMAGE_PRESETS, load_image_benchmark, load_tabular_benchmark
+
+
+class TestImagePresets:
+    def test_all_four_benchmarks_present(self):
+        assert set(IMAGE_PRESETS) == {
+            "cifar10-like", "cifar100-like", "tiny-imagenet-like", "domainnet-like"}
+
+    def test_paper_scale_matches_table2(self):
+        c10 = IMAGE_PRESETS["cifar10-like"]["paper"]
+        assert c10.config.n_classes == 10
+        assert c10.config.train_per_class == 5000
+        assert c10.config.image_size == 32
+        assert c10.n_tasks == 5
+        c100 = IMAGE_PRESETS["cifar100-like"]["paper"]
+        assert c100.config.n_classes == 100
+        assert c100.n_tasks == 20
+        dn = IMAGE_PRESETS["domainnet-like"]["paper"]
+        assert dn.config.n_classes == 345
+        assert dn.n_tasks == 15
+        assert dn.config.image_size == 64
+
+    def test_ci_scale_loads_and_splits(self):
+        seq = load_image_benchmark("cifar10-like", "ci")
+        assert len(seq) == 5
+        assert len(seq[0].classes) == 2
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            load_image_benchmark("imagenet", "ci")
+        with pytest.raises(KeyError):
+            load_image_benchmark("cifar10-like", "huge")
+
+    def test_n_tasks_override(self):
+        seq = load_image_benchmark("cifar100-like", "ci", n_tasks=10)
+        assert len(seq) == 10
+        assert len(seq[0].classes) == 2
+
+    def test_shuffle_classes_changes_assignment(self):
+        plain = load_image_benchmark("cifar10-like", "ci")
+        shuffled = load_image_benchmark("cifar10-like", "ci",
+                                        shuffle_classes=np.random.default_rng(3))
+        assert any(p.classes != s.classes for p, s in zip(plain, shuffled))
+
+
+class TestTabularBenchmark:
+    def test_five_increments(self):
+        seq = load_tabular_benchmark("ci")
+        assert len(seq) == 5
+
+    def test_feature_widths_unified(self):
+        seq = load_tabular_benchmark("ci")
+        widths = {task.train.x.shape[1] for task in seq}
+        assert widths == {20}  # widest preset (blastchar) has 20 features
+
+    def test_relative_sizes_preserved(self):
+        """Bank is the biggest table, blastchar the smallest (Table II)."""
+        seq = load_tabular_benchmark("ci")
+        sizes = [len(task.train) for task in seq]
+        assert sizes[0] == max(sizes)      # bank
+        assert sizes[3] == min(sizes)      # blastchar
+
+    def test_seed_changes_data(self):
+        a = load_tabular_benchmark("ci", seed=0)
+        b = load_tabular_benchmark("ci", seed=1)
+        assert not np.allclose(a[0].train.x, b[0].train.x)

@@ -1,0 +1,78 @@
+"""Tests for class-incremental splitting and dataset sequences."""
+
+import numpy as np
+import pytest
+
+from repro.data import ArrayDataset, class_incremental_split
+from repro.data.splits import dataset_sequence
+
+
+def make_pair(n_classes=6, per_class=10):
+    y = np.repeat(np.arange(n_classes), per_class)
+    x = np.random.default_rng(0).normal(size=(len(y), 4)).astype(np.float32)
+    return (ArrayDataset(x, y, "train"), ArrayDataset(x.copy(), y.copy(), "test"))
+
+
+class TestClassIncrementalSplit:
+    def test_tasks_partition_classes(self):
+        train, test = make_pair()
+        seq = class_incremental_split(train, test, 3)
+        assert len(seq) == 3
+        all_classes = [c for task in seq for c in task.classes]
+        assert sorted(all_classes) == list(range(6))
+        assert len(set(all_classes)) == 6
+
+    def test_each_task_filtered_correctly(self):
+        train, test = make_pair()
+        seq = class_incremental_split(train, test, 3)
+        for task in seq:
+            assert set(task.train.y.tolist()) == set(task.classes)
+            assert set(task.test.y.tolist()) == set(task.classes)
+
+    def test_indivisible_raises(self):
+        train, test = make_pair(n_classes=5)
+        with pytest.raises(ValueError):
+            class_incremental_split(train, test, 3)
+
+    def test_class_mismatch_raises(self):
+        train, test = make_pair()
+        bad_test = test.filter_classes([0, 1, 2])
+        with pytest.raises(ValueError):
+            class_incremental_split(train, bad_test, 3)
+
+    def test_shuffled_assignment_differs(self):
+        train, test = make_pair()
+        plain = class_incremental_split(train, test, 3)
+        shuffled = class_incremental_split(train, test, 3, rng=np.random.default_rng(5))
+        assert any(p.classes != s.classes for p, s in zip(plain, shuffled))
+
+    def test_merged_train_covers_everything(self):
+        train, test = make_pair()
+        seq = class_incremental_split(train, test, 2)
+        assert len(seq.merged_train) == len(train)
+        assert len(seq.merged_test) == len(test)
+
+    def test_resplit_with_different_task_count(self):
+        train, test = make_pair(n_classes=12, per_class=4)
+        assert len(class_incremental_split(train, test, 4)) == 4
+        assert len(class_incremental_split(train, test, 6)) == 6
+
+
+class TestDatasetSequence:
+    def test_labels_offset_per_dataset(self):
+        pairs = [make_pair(n_classes=2, per_class=5) for _ in range(3)]
+        seq = dataset_sequence(pairs)
+        assert seq[0].classes == (0, 1)
+        assert seq[1].classes == (2, 3)
+        assert seq[2].classes == (4, 5)
+
+    def test_no_label_collisions_across_tasks(self):
+        pairs = [make_pair(n_classes=2, per_class=5) for _ in range(3)]
+        seq = dataset_sequence(pairs)
+        all_labels = np.concatenate([t.train.y for t in seq])
+        assert len(np.unique(all_labels)) == 6
+
+    def test_data_untouched(self):
+        pairs = [make_pair(n_classes=2, per_class=5)]
+        seq = dataset_sequence(pairs)
+        np.testing.assert_array_equal(seq[0].train.x, pairs[0][0].x)

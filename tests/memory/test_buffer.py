@@ -1,0 +1,99 @@
+"""Tests for the episodic memory buffer."""
+
+import numpy as np
+import pytest
+
+from repro.memory import MemoryBuffer, MemoryRecord
+
+
+def record(task_id=0, n=5, d=4, with_scales=True, with_targets=False):
+    return MemoryRecord(
+        task_id=task_id,
+        samples=np.full((n, d), float(task_id)),
+        noise_scales=np.full(n, 0.1) if with_scales else None,
+        targets=np.zeros((n, 3)) if with_targets else None,
+        labels=np.zeros(n, dtype=np.int64),
+    )
+
+
+class TestBuffer:
+    def test_quota_is_budget_over_tasks(self):
+        assert MemoryBuffer(640, 20).per_task_quota == 32  # CIFAR-100 paper setting
+        assert MemoryBuffer(256, 5).per_task_quota == 51   # CIFAR-10 paper setting
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            MemoryBuffer(-1, 5)
+        with pytest.raises(ValueError):
+            MemoryBuffer(10, 0)
+
+    def test_add_and_len(self):
+        buffer = MemoryBuffer(50, 5)
+        buffer.add(record(0))
+        buffer.add(record(1))
+        assert len(buffer) == 10
+        assert not buffer.is_empty
+
+    def test_rejects_over_quota_record(self):
+        buffer = MemoryBuffer(10, 5)  # quota 2
+        with pytest.raises(ValueError):
+            buffer.add(record(0, n=5))
+
+    def test_rejects_duplicate_task(self):
+        buffer = MemoryBuffer(50, 5)
+        buffer.add(record(0))
+        with pytest.raises(ValueError):
+            buffer.add(record(0))
+
+    def test_all_samples_concatenates_in_task_order(self):
+        buffer = MemoryBuffer(50, 5)
+        buffer.add(record(0))
+        buffer.add(record(1))
+        samples = buffer.all_samples()
+        assert samples.shape == (10, 4)
+        np.testing.assert_array_equal(samples[:5], 0.0)
+        np.testing.assert_array_equal(samples[5:], 1.0)
+
+    def test_all_samples_empty_raises(self):
+        with pytest.raises(ValueError):
+            MemoryBuffer(50, 5).all_samples()
+
+    def test_noise_scales_missing_raises(self):
+        buffer = MemoryBuffer(50, 5)
+        buffer.add(record(0, with_scales=False))
+        with pytest.raises(ValueError):
+            buffer.all_noise_scales()
+
+    def test_targets_roundtrip(self):
+        buffer = MemoryBuffer(50, 5)
+        buffer.add(record(0, with_targets=True))
+        assert buffer.all_targets().shape == (5, 3)
+
+    def test_sample_batch_indices_valid_and_unique(self):
+        buffer = MemoryBuffer(50, 5)
+        buffer.add(record(0))
+        buffer.add(record(1))
+        idx = buffer.sample_batch(8, np.random.default_rng(0))
+        assert len(idx) == 8
+        assert len(np.unique(idx)) == 8
+        assert idx.max() < 10
+
+    def test_sample_batch_clips_to_size(self):
+        buffer = MemoryBuffer(50, 5)
+        buffer.add(record(0, n=3))
+        idx = buffer.sample_batch(10, np.random.default_rng(0))
+        assert len(idx) == 3
+
+    def test_sample_batch_empty_raises(self):
+        with pytest.raises(ValueError):
+            MemoryBuffer(50, 5).sample_batch(4, np.random.default_rng(0))
+
+    def test_vector_noise_scales_concatenate(self):
+        buffer = MemoryBuffer(50, 5)
+        a = record(0)
+        a.noise_scales = np.ones((5, 4))
+        b = record(1)
+        b.noise_scales = np.zeros((5, 4))
+        buffer.add(a)
+        buffer.add(b)
+        assert buffer.all_noise_scales().shape == (10, 4)

@@ -1,0 +1,101 @@
+"""Tests for MLP, TinyConvNet, and ResNet backbones."""
+
+import numpy as np
+import pytest
+
+from repro.nn import MLP, BasicBlock, ResNet, TinyConvNet, resnet18, tiny_resnet
+from repro.tensor import Tensor
+
+
+class TestMLP:
+    def test_output_shape(self, rng):
+        mlp = MLP([6, 12, 4], rng=rng)
+        assert mlp(Tensor(np.zeros((5, 6)))).shape == (5, 4)
+        assert mlp.output_dim == 4
+
+    def test_flattens_higher_dims(self, rng):
+        mlp = MLP([12, 4], rng=rng)
+        assert mlp(Tensor(np.zeros((5, 3, 2, 2)))).shape == (5, 4)
+
+    def test_needs_two_dims(self):
+        with pytest.raises(ValueError):
+            MLP([4])
+
+    def test_no_final_activation_allows_negatives(self, rng):
+        mlp = MLP([4, 8, 2], batch_norm=False, final_activation=False, rng=rng)
+        out = mlp(Tensor(np.random.default_rng(0).normal(size=(50, 4)))).numpy()
+        assert (out < 0).any()
+
+    def test_final_activation_clamps(self, rng):
+        mlp = MLP([4, 8, 2], batch_norm=False, final_activation=True, rng=rng)
+        out = mlp(Tensor(np.random.default_rng(0).normal(size=(50, 4)))).numpy()
+        assert (out >= 0).all()
+
+    def test_seven_layer_paper_shape(self, rng):
+        """The paper's tabular encoder is a 7-layer MLP."""
+        dims = [16] + [32] * 6
+        mlp = MLP(dims, rng=rng)
+        linear_count = sum(1 for m in mlp.modules() if type(m).__name__ == "Linear")
+        assert linear_count == 6  # 7 widths -> 6 Linear layers
+
+
+class TestTinyConvNet:
+    def test_output_shape(self, rng):
+        net = TinyConvNet(in_channels=3, width=8, image_size=8, rng=rng)
+        out = net(Tensor(np.zeros((4, 3, 8, 8))))
+        assert out.shape == (4, 32)
+        assert net.output_dim == 32
+
+    def test_rejects_bad_image_size(self, rng):
+        with pytest.raises(ValueError):
+            TinyConvNet(image_size=10, rng=rng)
+
+    def test_rejects_non_nchw(self, rng):
+        net = TinyConvNet(image_size=8, rng=rng)
+        with pytest.raises(ValueError):
+            net(Tensor(np.zeros((3, 8, 8))))
+
+    def test_gradient_flows_to_first_conv(self, rng):
+        net = TinyConvNet(width=4, image_size=8, rng=rng)
+        out = net(Tensor(np.random.default_rng(0).normal(size=(2, 3, 8, 8)).astype(np.float32)))
+        out.sum().backward()
+        first_conv = net.net[0]
+        assert first_conv.weight.grad is not None
+        assert np.abs(first_conv.weight.grad).sum() > 0
+
+
+class TestResNet:
+    def test_basic_block_identity_shortcut(self, rng):
+        block = BasicBlock(8, 8, stride=1, rng=rng)
+        assert block.shortcut is None
+        out = block(Tensor(np.zeros((2, 8, 4, 4))))
+        assert out.shape == (2, 8, 4, 4)
+
+    def test_basic_block_projected_shortcut(self, rng):
+        block = BasicBlock(8, 16, stride=2, rng=rng)
+        assert block.shortcut is not None
+        out = block(Tensor(np.zeros((2, 8, 4, 4))))
+        assert out.shape == (2, 16, 2, 2)
+
+    def test_tiny_resnet_forward(self, rng):
+        net = tiny_resnet(rng=rng)
+        out = net(Tensor(np.zeros((2, 3, 8, 8))))
+        assert out.shape == (2, net.output_dim)
+
+    def test_resnet18_parameter_count(self, rng):
+        """The paper's backbone: ~11.2M parameters (standard ResNet-18)."""
+        net = resnet18(rng=rng)
+        assert 11_000_000 < net.num_parameters() < 11_400_000
+
+    def test_custom_stage_layout(self, rng):
+        net = ResNet((1, 1, 1), base_width=4, rng=rng)
+        out = net(Tensor(np.zeros((1, 3, 8, 8))))
+        assert out.shape == (1, 16)  # 4 -> 8 -> 16 channels
+
+    def test_gradient_flows_through_residual_path(self, rng):
+        net = tiny_resnet(rng=rng)
+        out = net(Tensor(np.random.default_rng(0).normal(size=(2, 3, 8, 8)).astype(np.float32)))
+        out.sum().backward()
+        grads = [p.grad for p in net.parameters()]
+        assert all(g is not None for g in grads)
+        assert sum(np.abs(g).sum() for g in grads) > 0

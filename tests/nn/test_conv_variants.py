@@ -1,0 +1,66 @@
+"""Extra Conv2d coverage: kernel/stride/padding combinations and im2col."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Conv2d
+from repro.nn.conv import _col2im, _im2col
+from repro.tensor import Tensor
+
+
+class TestShapes:
+    @pytest.mark.parametrize("kernel,stride,padding,expected", [
+        (1, 1, 0, 6),   # pointwise
+        (3, 1, 1, 6),   # same
+        (3, 2, 1, 3),   # downsample
+        (2, 2, 0, 3),   # patchify
+        (5, 1, 2, 6),   # large same
+    ])
+    def test_output_spatial_size(self, kernel, stride, padding, expected, rng):
+        conv = Conv2d(2, 4, kernel, stride=stride, padding=padding, rng=rng)
+        out = conv(Tensor(np.zeros((1, 2, 6, 6))))
+        assert out.shape == (1, 4, expected, expected)
+
+    def test_batch_independence(self, rng):
+        """Each sample's output depends only on that sample."""
+        conv = Conv2d(1, 2, 3, padding=1, rng=rng)
+        data = np.random.default_rng(0).normal(size=(4, 1, 5, 5)).astype(np.float32)
+        full = conv(Tensor(data)).numpy()
+        single = conv(Tensor(data[2:3])).numpy()
+        np.testing.assert_allclose(full[2:3], single, rtol=1e-5)
+
+
+class TestIm2Col:
+    def test_roundtrip_counts_patch_multiplicity(self):
+        """col2im(ones) counts how many patches cover each input pixel."""
+        x = np.zeros((1, 1, 4, 4))
+        cols, oh, ow = _im2col(x, kernel=3, stride=1, padding=0)
+        assert cols.shape == (1, 2, 2, 9)
+        counts = _col2im(np.ones((1, oh, ow, 9)), (1, 1, 4, 4), 3, 1, 0)
+        # corner pixel covered by exactly 1 patch, center by 4
+        assert counts[0, 0, 0, 0] == 1
+        assert counts[0, 0, 1, 1] == 4
+
+    def test_patch_contents(self):
+        x = np.arange(16, dtype=np.float64).reshape(1, 1, 4, 4)
+        cols, _oh, _ow = _im2col(x, kernel=2, stride=2, padding=0)
+        np.testing.assert_array_equal(cols[0, 0, 0], [0, 1, 4, 5])
+        np.testing.assert_array_equal(cols[0, 1, 1], [10, 11, 14, 15])
+
+
+class TestEquivalenceWithDirectConvolution:
+    def test_matches_naive_convolution(self, rng):
+        conv = Conv2d(2, 3, 3, stride=1, padding=0, rng=rng)
+        x = np.random.default_rng(1).normal(size=(1, 2, 5, 5)).astype(np.float32)
+        out = conv(Tensor(x)).numpy()
+
+        # naive direct computation
+        weight = conv.weight.data.reshape(2, 3, 3, 3)  # (Cin, k, k, Cout)
+        naive = np.zeros((1, 3, 3, 3), dtype=np.float64)
+        for oc in range(3):
+            for oy in range(3):
+                for ox in range(3):
+                    patch = x[0, :, oy:oy + 3, ox:ox + 3]
+                    naive[0, oc, oy, ox] = (patch * weight[:, :, :, oc]).sum() \
+                        + conv.bias.data[oc]
+        np.testing.assert_allclose(out, naive, rtol=1e-4)

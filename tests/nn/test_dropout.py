@@ -1,0 +1,59 @@
+"""Tests for the Dropout layer."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Dropout, MLP
+from repro.tensor import Tensor
+
+
+class TestDropout:
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+        with pytest.raises(ValueError):
+            Dropout(-0.1)
+
+    def test_eval_mode_is_identity(self, rng):
+        layer = Dropout(0.5, rng=rng)
+        layer.eval()
+        x = Tensor(np.random.default_rng(0).normal(size=(10, 4)).astype(np.float32))
+        np.testing.assert_array_equal(layer(x).numpy(), x.numpy())
+
+    def test_p_zero_is_identity_in_train(self, rng):
+        layer = Dropout(0.0, rng=rng)
+        x = Tensor(np.ones((10, 4), dtype=np.float32))
+        np.testing.assert_array_equal(layer(x).numpy(), x.numpy())
+
+    def test_train_zeroes_roughly_p_fraction(self, rng):
+        layer = Dropout(0.4, rng=rng)
+        x = Tensor(np.ones((200, 50), dtype=np.float32))
+        out = layer(x).numpy()
+        dropped = (out == 0).mean()
+        assert 0.35 < dropped < 0.45
+
+    def test_inverted_scaling_preserves_expectation(self, rng):
+        layer = Dropout(0.3, rng=rng)
+        x = Tensor(np.ones((500, 100), dtype=np.float32))
+        out = layer(x).numpy()
+        assert out.mean() == pytest.approx(1.0, abs=0.02)
+        survivors = out[out != 0]
+        np.testing.assert_allclose(survivors, 1.0 / 0.7, rtol=1e-5)
+
+    def test_gradient_masked_like_forward(self, rng):
+        layer = Dropout(0.5, rng=np.random.default_rng(0))
+        x = Tensor(np.ones((6, 6), dtype=np.float32), requires_grad=True)
+        out = layer(x)
+        out.sum().backward()
+        # gradient is the same mask*scale that the forward applied
+        np.testing.assert_allclose(x.grad, out.numpy(), rtol=1e-6)
+
+    def test_mlp_dropout_option(self, rng):
+        mlp = MLP([4, 16, 2], dropout=0.5, rng=rng)
+        names = {type(m).__name__ for m in mlp.modules()}
+        assert "Dropout" in names
+        mlp.eval()
+        x = Tensor(np.ones((3, 4), dtype=np.float32))
+        a = mlp(x).numpy()
+        b = mlp(x).numpy()
+        np.testing.assert_array_equal(a, b)  # eval is deterministic

@@ -1,0 +1,103 @@
+"""Tests for LayerNorm / GroupNorm (batch-independent normalization)."""
+
+import numpy as np
+import pytest
+
+from repro.nn import GroupNorm, LayerNorm, MLP
+from repro.tensor import Tensor
+from repro.tensor.gradcheck import numerical_gradient
+
+
+class TestLayerNorm:
+    def test_normalizes_per_sample(self, rng):
+        ln = LayerNorm(8)
+        x = rng.normal(loc=3.0, scale=2.0, size=(5, 8))
+        out = ln(Tensor(x)).numpy()
+        np.testing.assert_allclose(out.mean(axis=1), 0.0, atol=1e-4)
+        np.testing.assert_allclose(out.std(axis=1), 1.0, atol=1e-2)
+
+    def test_batch_size_one_works(self, rng):
+        """The whole point: no batch statistics needed."""
+        ln = LayerNorm(6)
+        out = ln(Tensor(rng.normal(size=(1, 6))))
+        assert out.shape == (1, 6)
+        assert np.isfinite(out.numpy()).all()
+
+    def test_output_independent_of_batch_composition(self, rng):
+        ln = LayerNorm(4)
+        x = rng.normal(size=(8, 4)).astype(np.float32)
+        full = ln(Tensor(x)).numpy()
+        alone = ln(Tensor(x[:1])).numpy()
+        np.testing.assert_allclose(full[:1], alone, rtol=1e-5)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            LayerNorm(4)(Tensor(np.zeros((2, 5))))
+        with pytest.raises(ValueError):
+            LayerNorm(4)(Tensor(np.zeros((2, 4, 4))))
+
+    def test_gradient_matches_numerical(self, rng):
+        ln = LayerNorm(4)
+        ln.weight.data = ln.weight.data.astype(np.float64)
+        ln.bias.data = ln.bias.data.astype(np.float64)
+        x = rng.normal(size=(3, 4))
+        xt = Tensor(x.copy(), requires_grad=True)
+        ln(xt).sum().backward()
+        numerical = numerical_gradient(lambda t: ln(t), [x], 0)
+        np.testing.assert_allclose(xt.grad, numerical, atol=1e-4)
+
+    def test_mlp_layer_norm_option(self, rng):
+        mlp = MLP([4, 8, 2], norm="layer", rng=rng)
+        names = {type(m).__name__ for m in mlp.modules()}
+        assert "LayerNorm" in names
+        assert "BatchNorm1d" not in names
+        # batch-1 forward must work even in train mode
+        out = mlp(Tensor(np.zeros((1, 4), dtype=np.float32)))
+        assert out.shape == (1, 2)
+
+    def test_mlp_rejects_unknown_norm(self, rng):
+        with pytest.raises(ValueError):
+            MLP([4, 2], norm="instance", rng=rng)
+
+
+class TestGroupNorm:
+    def test_group_count_must_divide_channels(self):
+        with pytest.raises(ValueError):
+            GroupNorm(3, 8)
+
+    def test_normalizes_within_groups(self, rng):
+        gn = GroupNorm(2, 4)
+        x = rng.normal(loc=5.0, size=(3, 4, 4, 4))
+        out = gn(Tensor(x)).numpy()
+        # each (sample, group) block should be ~standardized
+        grouped = out.reshape(3, 2, -1)
+        np.testing.assert_allclose(grouped.mean(axis=2), 0.0, atol=1e-4)
+        np.testing.assert_allclose(grouped.std(axis=2), 1.0, atol=1e-2)
+
+    def test_batch_size_one_works(self, rng):
+        gn = GroupNorm(2, 4)
+        out = gn(Tensor(rng.normal(size=(1, 4, 2, 2))))
+        assert np.isfinite(out.numpy()).all()
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            GroupNorm(2, 4)(Tensor(np.zeros((2, 6, 2, 2))))
+        with pytest.raises(ValueError):
+            GroupNorm(2, 4)(Tensor(np.zeros((2, 4))))
+
+    def test_groups_one_is_per_sample_instance_norm(self, rng):
+        gn = GroupNorm(1, 3)
+        x = rng.normal(size=(2, 3, 4, 4))
+        out = gn(Tensor(x)).numpy()
+        flat = out.reshape(2, -1)
+        np.testing.assert_allclose(flat.mean(axis=1), 0.0, atol=1e-4)
+
+    def test_gradient_matches_numerical(self, rng):
+        gn = GroupNorm(2, 4)
+        gn.weight.data = gn.weight.data.astype(np.float64)
+        gn.bias.data = gn.bias.data.astype(np.float64)
+        x = rng.normal(size=(2, 4, 3, 3))
+        xt = Tensor(x.copy(), requires_grad=True)
+        gn(xt).sum().backward()
+        numerical = numerical_gradient(lambda t: gn(t), [x], 0)
+        np.testing.assert_allclose(xt.grad, numerical, atol=1e-4)

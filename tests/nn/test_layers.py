@@ -1,0 +1,172 @@
+"""Tests for Linear, Conv2d, BatchNorm, pooling, activations, containers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    AvgPool2d,
+    BatchNorm1d,
+    BatchNorm2d,
+    Conv2d,
+    GlobalAvgPool2d,
+    Identity,
+    LeakyReLU,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Tanh,
+)
+from repro.tensor import Tensor
+from repro.tensor.gradcheck import numerical_gradient
+
+
+class TestLinear:
+    def test_output_shape(self, rng):
+        layer = Linear(5, 3, rng=rng)
+        assert layer(Tensor(np.zeros((7, 5)))).shape == (7, 3)
+
+    def test_no_bias(self, rng):
+        layer = Linear(5, 3, bias=False, rng=rng)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+        out = layer(Tensor(np.zeros((2, 5))))
+        np.testing.assert_allclose(out.numpy(), 0.0)
+
+    def test_matches_manual_affine(self, rng):
+        layer = Linear(4, 2, rng=rng)
+        x = np.random.default_rng(0).normal(size=(3, 4)).astype(np.float32)
+        expected = x @ layer.weight.data + layer.bias.data
+        np.testing.assert_allclose(layer(Tensor(x)).numpy(), expected, rtol=1e-5)
+
+    def test_deterministic_init_with_seed(self):
+        a = Linear(4, 4, rng=np.random.default_rng(3))
+        b = Linear(4, 4, rng=np.random.default_rng(3))
+        np.testing.assert_array_equal(a.weight.data, b.weight.data)
+
+
+class TestConv2d:
+    def test_output_shape_stride_padding(self, rng):
+        conv = Conv2d(3, 8, kernel_size=3, stride=2, padding=1, rng=rng)
+        out = conv(Tensor(np.zeros((2, 3, 8, 8))))
+        assert out.shape == (2, 8, 4, 4)
+
+    def test_rejects_non_nchw(self, rng):
+        conv = Conv2d(3, 8, 3, rng=rng)
+        with pytest.raises(ValueError):
+            conv(Tensor(np.zeros((3, 8, 8))))
+
+    def test_identity_kernel_preserves_input(self, rng):
+        conv = Conv2d(1, 1, kernel_size=1, bias=False, rng=rng)
+        conv.weight.data = np.ones((1, 1), dtype=np.float32)
+        x = np.random.default_rng(0).normal(size=(1, 1, 4, 4)).astype(np.float32)
+        np.testing.assert_allclose(conv(Tensor(x)).numpy(), x, rtol=1e-6)
+
+    def test_input_gradient_matches_numerical(self, rng):
+        conv = Conv2d(2, 3, kernel_size=3, stride=1, padding=1, rng=rng)
+        conv.weight.data = conv.weight.data.astype(np.float64)
+        conv.bias.data = conv.bias.data.astype(np.float64)
+        x = np.random.default_rng(1).normal(size=(2, 2, 5, 5))
+        xt = Tensor(x.copy(), requires_grad=True)
+        conv(xt).sum().backward()
+        numerical = numerical_gradient(lambda t: conv(t), [x], 0)
+        np.testing.assert_allclose(xt.grad, numerical, atol=1e-4)
+
+    def test_weight_gradient_matches_numerical(self, rng):
+        conv = Conv2d(1, 2, kernel_size=2, stride=2, padding=0, bias=False, rng=rng)
+        conv.weight.data = conv.weight.data.astype(np.float64)
+        x = np.random.default_rng(2).normal(size=(1, 1, 4, 4))
+        conv(Tensor(x)).sum().backward()
+        w0 = conv.weight.data.copy()
+
+        def as_function_of_weight(wt):
+            conv.weight.data = wt.numpy()
+            result = conv(Tensor(x))
+            conv.weight.data = w0
+            return result
+
+        numerical = numerical_gradient(as_function_of_weight, [w0], 0)
+        np.testing.assert_allclose(conv.weight.grad, numerical, atol=1e-4)
+
+
+class TestBatchNorm:
+    def test_train_normalizes_batch(self, rng):
+        bn = BatchNorm1d(4)
+        x = np.random.default_rng(0).normal(loc=5.0, scale=3.0, size=(64, 4))
+        out = bn(Tensor(x)).numpy()
+        np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=1e-4)
+        np.testing.assert_allclose(out.std(axis=0), 1.0, atol=1e-2)
+
+    def test_eval_uses_running_stats(self):
+        bn = BatchNorm1d(2, momentum=1.0)  # running stats = last batch stats
+        x = np.random.default_rng(0).normal(loc=2.0, size=(100, 2))
+        bn(Tensor(x))
+        bn.eval()
+        out = bn(Tensor(x)).numpy()
+        np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=0.05)
+
+    def test_2d_normalizes_per_channel(self):
+        bn = BatchNorm2d(3)
+        x = np.random.default_rng(0).normal(loc=1.0, size=(8, 3, 4, 4))
+        out = bn(Tensor(x)).numpy()
+        np.testing.assert_allclose(out.mean(axis=(0, 2, 3)), 0.0, atol=1e-4)
+
+    def test_wrong_ndim_raises(self):
+        with pytest.raises(ValueError):
+            BatchNorm1d(3)(Tensor(np.zeros((2, 3, 4))))
+        with pytest.raises(ValueError):
+            BatchNorm2d(3)(Tensor(np.zeros((2, 3))))
+
+    def test_running_stats_update_only_in_train(self):
+        bn = BatchNorm1d(2)
+        bn.eval()
+        before = bn.running_mean.copy()
+        bn(Tensor(np.full((10, 2), 7.0)))
+        np.testing.assert_array_equal(bn.running_mean, before)
+
+
+class TestPooling:
+    def test_maxpool_values(self):
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        out = MaxPool2d(2)(Tensor(x)).numpy()
+        np.testing.assert_allclose(out[0, 0], [[5, 7], [13, 15]])
+
+    def test_avgpool_values(self):
+        x = np.ones((1, 1, 4, 4), dtype=np.float32)
+        out = AvgPool2d(2)(Tensor(x)).numpy()
+        np.testing.assert_allclose(out, np.ones((1, 1, 2, 2)))
+
+    def test_pool_gradients_match_numerical(self):
+        x = np.random.default_rng(0).normal(size=(2, 2, 4, 4))
+        for pool in (MaxPool2d(2), AvgPool2d(2)):
+            xt = Tensor(x.copy(), requires_grad=True)
+            pool(xt).sum().backward()
+            numerical = numerical_gradient(lambda t: pool(t), [x], 0)
+            np.testing.assert_allclose(xt.grad, numerical, atol=1e-4)
+
+    def test_indivisible_size_raises(self):
+        with pytest.raises(ValueError):
+            MaxPool2d(3)(Tensor(np.zeros((1, 1, 4, 4))))
+
+    def test_global_avg_pool(self):
+        x = np.random.default_rng(0).normal(size=(2, 3, 4, 4))
+        out = GlobalAvgPool2d()(Tensor(x)).numpy()
+        np.testing.assert_allclose(out, x.mean(axis=(2, 3)), rtol=1e-6)
+
+
+class TestActivationsAndContainers:
+    def test_activation_layers_forward(self):
+        x = Tensor(np.array([-1.0, 2.0]))
+        np.testing.assert_allclose(ReLU()(x).numpy(), [0.0, 2.0])
+        np.testing.assert_allclose(Identity()(x).numpy(), x.numpy())
+        assert np.all(np.abs(Tanh()(x).numpy()) < 1.0)
+        assert np.all((Sigmoid()(x).numpy() > 0) & (Sigmoid()(x).numpy() < 1))
+        np.testing.assert_allclose(LeakyReLU(0.5)(x).numpy(), [-0.5, 2.0])
+
+    def test_sequential_order_and_indexing(self, rng):
+        seq = Sequential(Linear(4, 8, rng=rng), ReLU(), Linear(8, 2, rng=rng))
+        assert len(seq) == 3
+        assert isinstance(seq[1], ReLU)
+        out = seq(Tensor(np.zeros((5, 4))))
+        assert out.shape == (5, 2)

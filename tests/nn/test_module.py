@@ -1,0 +1,115 @@
+"""Tests for the Module/Parameter infrastructure."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Linear, MLP, Module, Parameter, Sequential, BatchNorm1d
+from repro.tensor import Tensor, no_grad
+
+
+class TestParameter:
+    def test_requires_grad_by_default(self):
+        p = Parameter(np.zeros(3))
+        assert p.requires_grad
+
+    def test_requires_grad_even_inside_no_grad(self):
+        with no_grad():
+            p = Parameter(np.zeros(3))
+        assert p.requires_grad
+
+
+class TestRegistration:
+    def test_parameters_collected_from_tree(self, rng):
+        model = Sequential(Linear(4, 8, rng=rng), Linear(8, 2, rng=rng))
+        names = [n for n, _p in model.named_parameters()]
+        assert len(names) == 4  # 2 weights + 2 biases
+        assert all("." in n for n in names)
+
+    def test_num_parameters(self, rng):
+        layer = Linear(4, 8, rng=rng)
+        assert layer.num_parameters() == 4 * 8 + 8
+
+    def test_buffers_registered(self):
+        bn = BatchNorm1d(5)
+        buffer_names = [n for n, _b in bn.named_buffers()]
+        assert set(buffer_names) == {"running_mean", "running_var"}
+
+    def test_modules_iterates_tree(self, rng):
+        mlp = MLP([4, 8, 2], rng=rng)
+        kinds = {type(m).__name__ for m in mlp.modules()}
+        assert "Linear" in kinds
+        assert "MLP" in kinds
+
+
+class TestModes:
+    def test_train_eval_propagates(self, rng):
+        mlp = MLP([4, 8, 2], batch_norm=True, rng=rng)
+        mlp.eval()
+        assert all(not m.training for m in mlp.modules())
+        mlp.train()
+        assert all(m.training for m in mlp.modules())
+
+    def test_zero_grad_clears(self, rng):
+        layer = Linear(3, 2, rng=rng)
+        out = layer(Tensor(np.ones((4, 3))))
+        out.sum().backward()
+        assert layer.weight.grad is not None
+        layer.zero_grad()
+        assert layer.weight.grad is None
+
+
+class TestStateDict:
+    def test_roundtrip_restores_output(self, rng):
+        src = MLP([4, 8, 2], batch_norm=True, rng=rng)
+        dst = MLP([4, 8, 2], batch_norm=True, rng=np.random.default_rng(999))
+        x = np.random.default_rng(0).normal(size=(6, 4)).astype(np.float32)
+        src.eval()
+        dst.load_state_dict(src.state_dict())
+        dst.eval()
+        np.testing.assert_allclose(dst(Tensor(x)).numpy(), src(Tensor(x)).numpy(), rtol=1e-6)
+
+    def test_state_dict_is_a_copy(self, rng):
+        layer = Linear(2, 2, rng=rng)
+        state = layer.state_dict()
+        layer.weight.data += 1.0
+        assert not np.allclose(state["weight"], layer.weight.data)
+
+    def test_mismatched_keys_raise(self, rng):
+        layer = Linear(2, 2, rng=rng)
+        with pytest.raises(KeyError):
+            layer.load_state_dict({"weight": np.zeros((2, 2))})
+
+    def test_mismatched_shape_raises(self, rng):
+        layer = Linear(2, 2, rng=rng)
+        state = layer.state_dict()
+        state["weight"] = np.zeros((3, 3))
+        with pytest.raises(ValueError):
+            layer.load_state_dict(state)
+
+    def test_buffers_roundtrip(self, rng):
+        bn = BatchNorm1d(3)
+        bn(Tensor(np.random.default_rng(0).normal(size=(8, 3))))  # updates running stats
+        fresh = BatchNorm1d(3)
+        fresh.load_state_dict(bn.state_dict())
+        np.testing.assert_allclose(fresh.running_mean, bn.running_mean)
+        np.testing.assert_allclose(fresh.running_var, bn.running_var)
+
+
+class TestCopy:
+    def test_copy_is_independent(self, rng):
+        src = MLP([4, 8, 2], rng=rng)
+        clone = src.copy()
+        src.parameters()[0].data += 5.0
+        assert not np.allclose(clone.parameters()[0].data, src.parameters()[0].data)
+
+    def test_copy_preserves_output(self, rng):
+        src = MLP([4, 8, 2], batch_norm=True, rng=rng)
+        src.eval()
+        clone = src.copy()
+        clone.eval()
+        x = Tensor(np.ones((3, 4)))
+        np.testing.assert_allclose(clone(x).numpy(), src(x).numpy(), rtol=1e-6)
+
+    def test_forward_not_implemented_on_base(self):
+        with pytest.raises(NotImplementedError):
+            Module()(1)

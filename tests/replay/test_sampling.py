@@ -1,0 +1,93 @@
+"""Tests for replay-batch sampling policies (the Sec. IV-F extension)."""
+
+import numpy as np
+import pytest
+
+from repro.replay import (
+    SimilaritySampling,
+    UniformSampling,
+    batch_similarities,
+    make_sampling,
+)
+
+
+class TestFactory:
+    def test_known_policies(self):
+        assert make_sampling("uniform").name == "uniform"
+        assert make_sampling("similarity").name == "similarity"
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            make_sampling("priority")
+
+
+class TestUniform:
+    def test_unique_indices_within_range(self, rng):
+        idx = UniformSampling().sample(20, 8, rng)
+        assert len(idx) == 8
+        assert len(np.unique(idx)) == 8
+        assert idx.max() < 20
+
+    def test_clips_to_memory_size(self, rng):
+        assert len(UniformSampling().sample(3, 10, rng)) == 3
+
+    def test_covers_memory_over_many_draws(self):
+        rng = np.random.default_rng(0)
+        seen = set()
+        for _ in range(50):
+            seen.update(UniformSampling().sample(10, 3, rng).tolist())
+        assert seen == set(range(10))
+
+
+class TestSimilarity:
+    def test_requires_similarities(self, rng):
+        with pytest.raises(ValueError):
+            SimilaritySampling().sample(10, 4, rng)
+
+    def test_length_mismatch_raises(self, rng):
+        with pytest.raises(ValueError):
+            SimilaritySampling().sample(10, 4, rng, similarities=np.zeros(3))
+
+    def test_invalid_temperature(self):
+        with pytest.raises(ValueError):
+            SimilaritySampling(temperature=0.0)
+
+    def test_prefers_similar_samples(self):
+        rng = np.random.default_rng(0)
+        similarities = np.array([1.0] * 5 + [-1.0] * 15)
+        counts = np.zeros(20)
+        for _ in range(200):
+            idx = SimilaritySampling(temperature=0.2).sample(20, 3, rng,
+                                                             similarities=similarities)
+            counts[idx] += 1
+        assert counts[:5].mean() > 5 * counts[5:].mean()
+
+    def test_still_explores_dissimilar_samples(self):
+        """Softmax (not argmax): dissimilar memory is sampled occasionally."""
+        rng = np.random.default_rng(0)
+        similarities = np.array([1.0] * 3 + [0.0] * 7)
+        seen = set()
+        for _ in range(300):
+            seen.update(SimilaritySampling(temperature=1.0).sample(
+                10, 2, rng, similarities=similarities).tolist())
+        assert seen == set(range(10))
+
+
+class TestBatchSimilarities:
+    def test_identical_batches_give_one(self, rng):
+        reps = rng.normal(size=(6, 4))
+        sims = batch_similarities(reps, reps)
+        assert sims.shape == (6,)
+        assert sims.max() <= 1.0 + 1e-9
+
+    def test_orthogonal_is_zero(self):
+        memory = np.array([[1.0, 0.0]])
+        batch = np.array([[0.0, 1.0], [0.0, 2.0]])
+        np.testing.assert_allclose(batch_similarities(memory, batch), [0.0], atol=1e-9)
+
+    def test_ranks_by_alignment(self, rng):
+        batch = rng.normal(size=(10, 4))
+        aligned = batch.mean(axis=0, keepdims=True)
+        opposed = -aligned
+        sims = batch_similarities(np.concatenate([aligned, opposed]), batch)
+        assert sims[0] > sims[1]

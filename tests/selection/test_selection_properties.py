@@ -1,0 +1,77 @@
+"""Property-based tests for clustering and selection (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.selection import (
+    HighEntropySelection,
+    SelectionContext,
+    kmeans,
+    kmeans_plus_plus_seeds,
+    make_strategy,
+)
+
+
+def point_clouds(max_points=40, dims=3):
+    shapes = st.tuples(st.integers(4, max_points), st.just(dims))
+    return hnp.arrays(np.float64, shapes,
+                      elements=st.floats(-5.0, 5.0, allow_nan=False, width=64))
+
+
+@settings(max_examples=15, deadline=None)
+@given(point_clouds(), st.integers(1, 4), st.integers(0, 100))
+def test_kmeans_assignments_are_locally_optimal(points, k, seed):
+    """Every point must be assigned to a nearest centroid on exit.
+
+    Compared by *distance*, not index: with duplicate points several
+    centroids can tie and any of them is a valid assignment."""
+    k = min(k, len(points))
+    centroids, assignments = kmeans(points, k, np.random.default_rng(seed))
+    d2 = ((points[:, None, :] - centroids[None]) ** 2).sum(axis=2)
+    assigned = d2[np.arange(len(points)), assignments]
+    np.testing.assert_allclose(assigned, d2.min(axis=1), atol=1e-9)
+
+
+@settings(max_examples=15, deadline=None)
+@given(point_clouds(), st.integers(1, 4), st.integers(0, 100))
+def test_kmeans_seeding_returns_valid_unique_indices(points, k, seed):
+    k = min(k, len(points))
+    seeds = kmeans_plus_plus_seeds(points, k, np.random.default_rng(seed))
+    assert len(seeds) == k
+    assert len(np.unique(seeds)) == k
+    assert seeds.min() >= 0 and seeds.max() < len(points)
+
+
+@settings(max_examples=15, deadline=None)
+@given(point_clouds(), st.integers(1, 10),
+       st.sampled_from(["random", "distant", "high-entropy", "kmeans"]),
+       st.integers(0, 100))
+def test_every_strategy_returns_valid_selection(points, budget, name, seed):
+    context = SelectionContext(representations=points, budget=budget,
+                               rng=np.random.default_rng(seed))
+    chosen = make_strategy(name).select(context)
+    assert len(chosen) == min(budget, len(points))
+    assert len(np.unique(chosen)) == len(chosen)
+    assert chosen.min() >= 0 and chosen.max() < len(points)
+
+
+@settings(max_examples=10, deadline=None)
+@given(point_clouds(max_points=30), st.integers(2, 6), st.integers(0, 50))
+def test_high_entropy_trace_at_least_random_mean(points, budget, seed):
+    """The greedy maximizer must not be worse than the random-selection
+    average on its own objective (centered Tr(Cov))."""
+    budget = min(budget, len(points))
+    context = SelectionContext(representations=points, budget=budget,
+                               rng=np.random.default_rng(seed))
+    chosen = HighEntropySelection().select(context)
+
+    def centered_trace(idx):
+        subset = points[idx] - points[idx].mean(axis=0)
+        return (subset * subset).sum()
+
+    random_mean = np.mean([
+        centered_trace(np.random.default_rng(s).choice(len(points), budget, replace=False))
+        for s in range(10)
+    ])
+    assert centered_trace(chosen) >= random_mean - 1e-9

@@ -1,0 +1,168 @@
+"""Tests for the five data-selection strategies of Table V."""
+
+import numpy as np
+import pytest
+
+from repro.selection import (
+    DistantSelection,
+    HighEntropySelection,
+    KMeansSelection,
+    MinVarianceSelection,
+    RandomSelection,
+    SelectionContext,
+    covariance_trace,
+    kmeans,
+    kmeans_plus_plus_seeds,
+    make_strategy,
+)
+
+
+def context(rng, n=60, d=8, budget=10, **kwargs):
+    reps = rng.normal(size=(n, d))
+    return SelectionContext(representations=reps, budget=budget, rng=rng, **kwargs)
+
+
+ALL_STRATEGIES = [RandomSelection(), KMeansSelection(), DistantSelection(),
+                  HighEntropySelection()]
+
+
+class TestContext:
+    def test_validates_shape(self, rng):
+        with pytest.raises(ValueError):
+            SelectionContext(representations=np.zeros(5), budget=2, rng=rng)
+
+    def test_validates_budget(self, rng):
+        with pytest.raises(ValueError):
+            SelectionContext(representations=np.zeros((5, 2)), budget=0, rng=rng)
+
+
+class TestCommonContract:
+    @pytest.mark.parametrize("strategy", ALL_STRATEGIES, ids=lambda s: s.name)
+    def test_returns_budget_unique_sorted_indices(self, strategy, rng):
+        ctx = context(rng, budget=12)
+        chosen = strategy.select(ctx)
+        assert len(chosen) == 12
+        assert len(np.unique(chosen)) == 12
+        assert np.all(chosen == np.sort(chosen))
+        assert chosen.min() >= 0 and chosen.max() < 60
+
+    @pytest.mark.parametrize("strategy", ALL_STRATEGIES, ids=lambda s: s.name)
+    def test_budget_clipped_to_population(self, strategy, rng):
+        ctx = context(rng, n=5, budget=50)
+        chosen = strategy.select(ctx)
+        assert len(chosen) == 5
+
+    def test_factory_resolves_all_names(self):
+        for name in ("random", "kmeans", "min-var", "distant", "high-entropy"):
+            assert make_strategy(name).name == name
+
+    def test_factory_unknown_raises(self):
+        with pytest.raises(KeyError):
+            make_strategy("oracle")
+
+
+class TestRandom:
+    def test_seeded_reproducibility(self):
+        a = RandomSelection().select(context(np.random.default_rng(1)))
+        b = RandomSelection().select(context(np.random.default_rng(1)))
+        np.testing.assert_array_equal(a, b)
+
+
+class TestKMeansAlgorithm:
+    def test_recovers_separated_clusters(self, rng):
+        centers = np.array([[0.0, 0.0], [10.0, 10.0], [-10.0, 10.0]])
+        points = np.concatenate([c + rng.normal(scale=0.3, size=(30, 2)) for c in centers])
+        centroids, assignments = kmeans(points, 3, rng)
+        # every true cluster maps to exactly one learned cluster
+        for start in range(0, 90, 30):
+            labels = assignments[start:start + 30]
+            assert len(np.unique(labels)) == 1
+        assert len(np.unique(assignments)) == 3
+
+    def test_seeding_rejects_too_many_centers(self, rng):
+        with pytest.raises(ValueError):
+            kmeans_plus_plus_seeds(np.zeros((3, 2)), 5, rng)
+
+    def test_seeding_handles_duplicate_points(self, rng):
+        points = np.zeros((10, 3))
+        seeds = kmeans_plus_plus_seeds(points, 4, rng)
+        assert len(np.unique(seeds)) == 4
+
+
+class TestDistant:
+    def test_picks_spread_out_points(self, rng):
+        # two tight blobs far apart; budget 2 must take one from each
+        points = np.concatenate([np.zeros((20, 2)), 100.0 + np.zeros((20, 2))])
+        points += rng.normal(scale=0.01, size=points.shape)
+        ctx = SelectionContext(representations=points, budget=2, rng=rng)
+        chosen = DistantSelection().select(ctx)
+        sides = {int(i < 20) for i in chosen}
+        assert sides == {0, 1}
+
+
+class TestMinVariance:
+    def test_requires_view_variances(self, rng):
+        with pytest.raises(ValueError):
+            MinVarianceSelection().select(context(rng))
+
+    def test_prefers_low_variance_samples(self, rng):
+        n = 40
+        reps = rng.normal(size=(n, 4))
+        variances = np.linspace(0.0, 1.0, n)
+        ctx = SelectionContext(representations=reps, budget=10, rng=rng,
+                               view_variances=variances, n_groups=1)
+        chosen = MinVarianceSelection().select(ctx)
+        np.testing.assert_array_equal(chosen, np.arange(10))
+
+    def test_variance_length_mismatch_raises(self, rng):
+        ctx = context(rng, view_variances=np.zeros(3))
+        with pytest.raises(ValueError):
+            MinVarianceSelection().select(ctx)
+
+    def test_splits_budget_across_groups(self, rng):
+        # two far blobs; low-variance samples exist in both
+        reps = np.concatenate([rng.normal(size=(20, 2)), 50 + rng.normal(size=(20, 2))])
+        variances = rng.uniform(size=40)
+        ctx = SelectionContext(representations=reps, budget=10, rng=rng,
+                               view_variances=variances, n_groups=2)
+        chosen = MinVarianceSelection().select(ctx)
+        first_blob = (chosen < 20).sum()
+        assert 3 <= first_blob <= 7  # roughly even split
+
+
+class TestHighEntropy:
+    def test_beats_random_on_covariance_trace(self, rng):
+        """The selection objective (Eq. 15): Tr(Cov) of the chosen subset
+        should exceed a random subset's on anisotropic data."""
+        reps = rng.normal(size=(100, 6)) * np.array([5.0, 3.0, 1.0, 0.5, 0.1, 0.1])
+        ctx = SelectionContext(representations=reps, budget=10, rng=rng)
+        entropy_choice = HighEntropySelection().select(ctx)
+        random_traces = []
+        for seed in range(20):
+            r = np.random.default_rng(seed).choice(100, size=10, replace=False)
+            random_traces.append(covariance_trace(reps[r] - reps[r].mean(0)))
+        chosen_trace = covariance_trace(reps[entropy_choice] - reps[entropy_choice].mean(0))
+        assert chosen_trace > np.mean(random_traces)
+
+    def test_covers_all_principal_directions(self, rng):
+        """With budget == rank, the selection must span the data."""
+        basis = np.eye(4)
+        points = np.concatenate([basis * 10, rng.normal(scale=0.01, size=(40, 4))])
+        ctx = SelectionContext(representations=points, budget=4, rng=rng)
+        chosen = HighEntropySelection(center=False).select(ctx)
+        # the four large basis-aligned points dominate all four directions
+        assert set(chosen.tolist()) == {0, 1, 2, 3}
+
+    def test_budget_beyond_rank_restarts_sweep(self, rng):
+        # rank-2 data, budget 6: must not crash, must return 6 unique
+        low_rank = rng.normal(size=(30, 2)) @ rng.normal(size=(2, 8))
+        ctx = SelectionContext(representations=low_rank, budget=6, rng=rng)
+        chosen = HighEntropySelection().select(ctx)
+        assert len(np.unique(chosen)) == 6
+
+    def test_deterministic(self, rng):
+        reps = np.random.default_rng(7).normal(size=(50, 5))
+        ctx1 = SelectionContext(representations=reps, budget=8, rng=np.random.default_rng(0))
+        ctx2 = SelectionContext(representations=reps, budget=8, rng=np.random.default_rng(99))
+        np.testing.assert_array_equal(HighEntropySelection().select(ctx1),
+                                      HighEntropySelection().select(ctx2))

@@ -1,0 +1,37 @@
+"""Tests for the benchmark harness helpers (benchmarks/common.py)."""
+
+import pytest
+
+from benchmarks import common
+from repro.continual import ContinualConfig
+
+
+class TestConfigFor:
+    def test_known_datasets_get_overrides(self):
+        config = common.config_for("tiny-imagenet-like")
+        assert config.noise_neighbors == 10
+        assert config.memory_budget == 60
+
+    def test_unknown_dataset_returns_base(self):
+        base = ContinualConfig(epochs=3)
+        assert common.config_for("mnist-like", base) is base
+
+    def test_custom_base_preserved(self):
+        base = ContinualConfig(epochs=99, objective="barlow")
+        config = common.config_for("cifar10-like", base)
+        assert config.epochs == 99
+        assert config.objective == "barlow"
+        assert config.noise_neighbors == common.DATASET_OVERRIDES["cifar10-like"]["noise_neighbors"]
+
+    def test_every_table2_dataset_has_overrides(self):
+        for dataset in ("cifar10-like", "cifar100-like", "tiny-imagenet-like",
+                        "domainnet-like"):
+            assert dataset in common.DATASET_OVERRIDES
+
+
+class TestEmit:
+    def test_emit_writes_result_file(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setattr(common, "RESULTS_DIR", tmp_path)
+        common.emit("unit_test_block", "row1\nrow2")
+        assert (tmp_path / "unit_test_block.txt").read_text() == "row1\nrow2\n"
+        assert "row1" in capsys.readouterr().out

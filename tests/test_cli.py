@@ -1,0 +1,65 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_parses_config_flags(self):
+        args = build_parser().parse_args([
+            "run", "edsr", "cifar10-like", "--epochs", "3", "--selection", "random",
+            "--replay-loss", "dis", "--seed", "5"])
+        assert args.method == "edsr"
+        assert args.epochs == 3
+        assert args.selection == "random"
+        assert args.seed == 5
+
+    def test_rejects_unknown_method(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "icarl", "cifar10-like"])
+
+    def test_compare_default_methods(self):
+        args = build_parser().parse_args(["compare", "cifar10-like"])
+        assert "edsr" in args.methods
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "cifar10-like" in out
+        assert "edsr" in out
+
+    def test_run_finetune_tiny(self, capsys, tmp_path):
+        output = tmp_path / "r.json"
+        code = main(["run", "finetune", "cifar10-like", "--epochs", "1",
+                     "--output", str(output)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Acc =" in out
+        payload = json.loads(output.read_text())
+        assert payload["n_tasks"] == 5
+
+    def test_run_multitask(self, capsys):
+        assert main(["run", "multitask", "cifar10-like", "--epochs", "1"]) == 0
+        assert "Acc =" in capsys.readouterr().out
+
+    def test_compare_prints_table(self, capsys):
+        code = main(["compare", "cifar10-like", "--methods", "finetune", "cassle",
+                     "--epochs", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "finetune" in out
+        assert "cassle" in out
+
+    def test_tabular_benchmark_defaults_to_adam(self, capsys):
+        assert main(["run", "finetune", "tabular", "--epochs", "1"]) == 0
+        assert "Acc =" in capsys.readouterr().out

@@ -1,0 +1,51 @@
+"""Tests for the sweep and report CLI commands."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestSweepParsing:
+    def test_defaults(self):
+        args = build_parser().parse_args(["sweep", "cifar10-like", "out"])
+        assert args.seeds == 2
+        assert "edsr" in args.methods
+
+    def test_multitask_not_sweepable(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "cifar10-like", "out",
+                                       "--methods", "multitask"])
+
+
+class TestSweepAndReport:
+    def test_sweep_writes_one_json_per_run(self, tmp_path, capsys):
+        out_dir = tmp_path / "runs"
+        code = main(["sweep", "cifar10-like", str(out_dir),
+                     "--methods", "finetune", "--seeds", "2", "--epochs", "1"])
+        assert code == 0
+        files = sorted(out_dir.glob("*.json"))
+        assert [f.name for f in files] == ["finetune_seed0.json", "finetune_seed1.json"]
+        payload = json.loads(files[0].read_text())
+        assert payload["name"] == "finetune"
+
+    def test_report_from_sweep(self, tmp_path, capsys):
+        out_dir = tmp_path / "runs"
+        main(["sweep", "cifar10-like", str(out_dir),
+              "--methods", "finetune", "--seeds", "1", "--epochs", "1"])
+        capsys.readouterr()
+        code = main(["report", str(out_dir), "--title", "Sweep check"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.startswith("# Sweep check")
+        assert "finetune" in out
+
+    def test_report_to_file(self, tmp_path, capsys):
+        out_dir = tmp_path / "runs"
+        main(["sweep", "cifar10-like", str(out_dir),
+              "--methods", "finetune", "--seeds", "1", "--epochs", "1"])
+        report_path = tmp_path / "report.md"
+        main(["report", str(out_dir), "--output", str(report_path)])
+        assert report_path.exists()
+        assert "Summary" in report_path.read_text()

@@ -1,0 +1,71 @@
+"""Meta-tests on the public API surface.
+
+Guards the contract a downstream user relies on: everything exported in
+``__all__`` resolves, every public module is documented, and the README's
+quickstart snippet actually runs.
+"""
+
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+
+PACKAGES = [
+    "repro",
+    "repro.tensor",
+    "repro.nn",
+    "repro.optim",
+    "repro.data",
+    "repro.augment",
+    "repro.ssl",
+    "repro.selection",
+    "repro.memory",
+    "repro.replay",
+    "repro.continual",
+    "repro.eval",
+    "repro.utils",
+]
+
+
+class TestExports:
+    @pytest.mark.parametrize("package_name", PACKAGES)
+    def test_all_exports_resolve(self, package_name):
+        package = importlib.import_module(package_name)
+        for name in getattr(package, "__all__", []):
+            assert hasattr(package, name), f"{package_name}.__all__ lists missing {name!r}"
+
+    @pytest.mark.parametrize("package_name", PACKAGES)
+    def test_every_module_documented(self, package_name):
+        package = importlib.import_module(package_name)
+        assert package.__doc__, f"{package_name} has no module docstring"
+        for info in pkgutil.iter_modules(package.__path__):
+            if info.name == "__main__":
+                continue
+            module = importlib.import_module(f"{package_name}.{info.name}")
+            assert module.__doc__, f"{module.__name__} has no module docstring"
+
+    def test_version_exposed(self):
+        assert repro.__version__
+
+
+class TestPublicClassesDocumented:
+    def test_top_level_exports_have_docstrings(self):
+        undocumented = [
+            name for name in repro.__all__
+            if name != "__version__" and not (getattr(repro, name).__doc__ or "").strip()
+        ]
+        assert not undocumented, f"undocumented public symbols: {undocumented}"
+
+
+class TestQuickstartSnippet:
+    def test_readme_quickstart_runs(self):
+        """The exact flow shown in README's Quickstart section."""
+        from repro import ContinualConfig, load_image_benchmark, run_method
+
+        sequence = load_image_benchmark("cifar10-like", scale="ci")
+        result = run_method("edsr", sequence, ContinualConfig(epochs=1), seed=0)
+        assert 0.0 <= result.acc() <= 1.0
+        assert result.accuracy_matrix.shape == (5, 5)

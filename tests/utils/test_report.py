@@ -1,0 +1,64 @@
+"""Tests for the markdown report builder."""
+
+import numpy as np
+import pytest
+
+from repro.eval import ContinualResult
+from repro.utils import build_report, collect_results, save_result, write_report
+
+
+def _result(name, accs, elapsed=1.0):
+    r = ContinualResult(2, name=name)
+    r.record_row([accs[0]])
+    r.record_row([accs[1], accs[2]])
+    r.elapsed_seconds = elapsed
+    return r
+
+
+@pytest.fixture
+def results_dir(tmp_path):
+    save_result(_result("edsr", [0.9, 0.88, 0.95]), tmp_path / "edsr_s0.json")
+    save_result(_result("edsr", [0.92, 0.9, 0.93]), tmp_path / "edsr_s1.json")
+    save_result(_result("finetune", [0.9, 0.7, 0.94]), tmp_path / "finetune_s0.json")
+    return tmp_path
+
+
+class TestCollect:
+    def test_groups_by_run_name(self, results_dir):
+        grouped = collect_results(results_dir)
+        assert set(grouped) == {"edsr", "finetune"}
+        assert len(grouped["edsr"]) == 2
+
+    def test_empty_directory_raises_on_report(self, tmp_path):
+        with pytest.raises(ValueError):
+            build_report(tmp_path)
+
+
+class TestReport:
+    def test_summary_table_sorted_by_acc(self, results_dir):
+        report = build_report(results_dir)
+        assert report.index("| edsr |") < report.index("| finetune |")
+
+    def test_contains_matrices_and_metrics(self, results_dir):
+        report = build_report(results_dir)
+        assert "## edsr" in report
+        assert "## finetune" in report
+        assert "Accuracy matrix" in report
+        assert "after \\ on" in report
+
+    def test_nan_cells_rendered_as_dot(self, results_dir):
+        report = build_report(results_dir)
+        assert "| . |" in report
+
+    def test_write_report(self, results_dir, tmp_path):
+        out = write_report(results_dir, tmp_path / "report.md", title="My sweep")
+        text = out.read_text()
+        assert text.startswith("# My sweep")
+
+    def test_round_trip_with_cli_outputs(self, tmp_path):
+        """End-to-end: CLI --output files feed straight into the report."""
+        from repro.cli import main
+        main(["run", "finetune", "cifar10-like", "--epochs", "1",
+              "--output", str(tmp_path / "ft.json")])
+        report = build_report(tmp_path)
+        assert "finetune" in report

@@ -1,0 +1,69 @@
+"""Tests for model/result serialization."""
+
+import numpy as np
+import pytest
+
+from repro.eval import ContinualResult
+from repro.nn import MLP
+from repro.tensor import Tensor
+from repro.utils import load_model, load_result, save_model, save_result
+
+
+class TestModelRoundtrip:
+    def test_identical_outputs_after_reload(self, rng, tmp_path):
+        model = MLP([4, 8, 2], batch_norm=True, rng=rng)
+        model.eval()
+        path = tmp_path / "model.npz"
+        save_model(model, path)
+        fresh = MLP([4, 8, 2], batch_norm=True, rng=np.random.default_rng(777))
+        load_model(fresh, path)
+        fresh.eval()
+        x = Tensor(np.random.default_rng(0).normal(size=(5, 4)).astype(np.float32))
+        np.testing.assert_allclose(fresh(x).numpy(), model(x).numpy(), rtol=1e-6)
+
+    def test_wrong_architecture_raises(self, rng, tmp_path):
+        model = MLP([4, 8, 2], rng=rng)
+        path = tmp_path / "model.npz"
+        save_model(model, path)
+        wrong = MLP([4, 16, 2], rng=rng)
+        with pytest.raises((KeyError, ValueError)):
+            load_model(wrong, path)
+
+
+class TestResultRoundtrip:
+    def _result(self):
+        r = ContinualResult(3, name="edsr")
+        r.record_row([0.9])
+        r.record_row([0.85, 0.92])
+        r.record_row([0.8, 0.9, 0.95])
+        r.elapsed_seconds = 12.5
+        return r
+
+    def test_metrics_preserved(self, tmp_path):
+        original = self._result()
+        path = tmp_path / "result.json"
+        save_result(original, path)
+        restored = load_result(path)
+        assert restored.name == "edsr"
+        assert restored.acc() == pytest.approx(original.acc())
+        assert restored.fgt() == pytest.approx(original.fgt())
+        assert restored.elapsed_seconds == pytest.approx(12.5)
+        np.testing.assert_allclose(restored.accuracy_matrix,
+                                   original.accuracy_matrix, equal_nan=True)
+
+    def test_partial_result_roundtrip(self, tmp_path):
+        r = ContinualResult(3, name="partial")
+        r.record_row([0.9])
+        path = tmp_path / "partial.json"
+        save_result(r, path)
+        restored = load_result(path)
+        assert not restored.complete
+        assert restored.acc_at(0) == pytest.approx(0.9)
+
+    def test_json_is_plain(self, tmp_path):
+        import json
+        path = tmp_path / "result.json"
+        save_result(self._result(), path)
+        payload = json.loads(path.read_text())
+        assert payload["n_tasks"] == 3
+        assert payload["accuracy_matrix"][0][1] is None
