@@ -1,0 +1,134 @@
+"""AST-based lint engine with repo-specific rules.
+
+The linter is deliberately small: a :class:`ModuleSource` wraps one parsed
+file, a :class:`LintRule` inspects it and yields :class:`Violation` records,
+and :func:`run_lint` walks a set of paths applying every registered rule.
+
+Suppressions
+------------
+A violation is silenced by a trailing comment on the reported line::
+
+    param.data = new_value  # repro-lint: disable=AD001
+
+Several codes may be listed (``disable=AD001,DET001``) and ``disable=all``
+silences every rule for that line.  Suppressions are per-line, so a
+multi-line statement must carry the comment on its *first* physical line
+(where the violation is reported).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+_SUPPRESS_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\s]+)")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One lint finding, formatted as ``path:line: CODE message``."""
+
+    path: Path
+    line: int
+    code: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}: {self.code} {self.message}"
+
+
+@dataclass
+class ModuleSource:
+    """A parsed Python file plus the bookkeeping rules need."""
+
+    path: Path
+    text: str
+    tree: ast.Module
+    _suppressions: dict[int, set[str]] = field(default_factory=dict)
+
+    @classmethod
+    def parse(cls, path: Path) -> "ModuleSource":
+        text = path.read_text(encoding="utf-8")
+        tree = ast.parse(text, filename=str(path))
+        source = cls(path=path, text=text, tree=tree)
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            match = _SUPPRESS_RE.search(line)
+            if match:
+                codes = {c.strip().upper() for c in match.group(1).split(",") if c.strip()}
+                source._suppressions[lineno] = codes
+        return source
+
+    def is_suppressed(self, line: int, code: str) -> bool:
+        codes = self._suppressions.get(line)
+        if not codes:
+            return False
+        return code.upper() in codes or "ALL" in codes
+
+    @property
+    def package_parts(self) -> tuple[str, ...]:
+        """Path components, used by rules that only apply to some subpackages."""
+        return self.path.parts
+
+
+class LintRule:
+    """Base class for lint rules.
+
+    Subclasses set ``code`` / ``description`` and implement :meth:`check`,
+    yielding raw violations; suppression filtering happens in the runner.
+    """
+
+    code: str = ""
+    description: str = ""
+
+    def check(self, module: ModuleSource) -> Iterator[Violation]:  # pragma: no cover
+        raise NotImplementedError
+
+    def violation(self, module: ModuleSource, line: int, message: str) -> Violation:
+        return Violation(path=module.path, line=line, code=self.code, message=message)
+
+
+def iter_python_files(paths: Sequence[Path | str]) -> Iterator[Path]:
+    """Yield every ``.py`` file under the given files/directories, sorted."""
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            yield from sorted(p for p in path.rglob("*.py") if p.is_file())
+        elif path.suffix == ".py" and path.is_file():
+            yield path
+        else:
+            raise FileNotFoundError(f"no such file or directory: {path}")
+
+
+def lint_file(path: Path | str, rules: Iterable[LintRule]) -> list[Violation]:
+    """Apply ``rules`` to one file, honoring suppression comments."""
+    module = ModuleSource.parse(Path(path))
+    found: list[Violation] = []
+    for rule in rules:
+        for violation in rule.check(module):
+            if not module.is_suppressed(violation.line, violation.code):
+                found.append(violation)
+    return found
+
+
+def run_lint(paths: Sequence[Path | str],
+             rules: Iterable[LintRule] | None = None) -> list[Violation]:
+    """Lint every Python file under ``paths`` and return sorted violations."""
+    if rules is None:
+        from repro.analysis.rules import default_rules
+        rules = default_rules()
+    rules = list(rules)
+    found: list[Violation] = []
+    for path in iter_python_files(paths):
+        found.extend(lint_file(path, rules))
+    return sorted(found, key=lambda v: (str(v.path), v.line, v.code))
+
+
+def format_report(violations: Sequence[Violation]) -> str:
+    """Render violations one per line plus a summary count."""
+    lines = [v.format() for v in violations]
+    noun = "violation" if len(violations) == 1 else "violations"
+    lines.append(f"{len(violations)} {noun}")
+    return "\n".join(lines)

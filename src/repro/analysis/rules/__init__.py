@@ -1,0 +1,44 @@
+"""Rule registry for the repro linter.
+
+Codes
+-----
+- ``DET001`` — seedless/global RNG (:class:`SeedlessRNGRule`)
+- ``AD001``  — in-place ``Tensor.data`` mutation (:class:`InplaceMutationRule`)
+- ``AD002``  — late-binding grad_fn closure (:class:`LateBindingClosureRule`)
+- ``API001`` — ``__all__`` export hygiene (:class:`ExportHygieneRule`)
+"""
+
+from __future__ import annotations
+
+from repro.analysis.rules.api import ExportHygieneRule
+from repro.analysis.rules.autograd import InplaceMutationRule, LateBindingClosureRule
+from repro.analysis.rules.determinism import SeedlessRNGRule
+
+__all__ = [
+    "ExportHygieneRule",
+    "InplaceMutationRule",
+    "LateBindingClosureRule",
+    "SeedlessRNGRule",
+    "default_rules",
+    "rules_by_code",
+]
+
+_RULE_CLASSES = (SeedlessRNGRule, InplaceMutationRule, LateBindingClosureRule,
+                 ExportHygieneRule)
+
+
+def default_rules():
+    """Fresh instances of every registered rule."""
+    return [cls() for cls in _RULE_CLASSES]
+
+
+def rules_by_code(codes):
+    """Instantiate only the rules whose code is in ``codes`` (case-insensitive)."""
+    wanted = {c.strip().upper() for c in codes}
+    chosen = [cls() for cls in _RULE_CLASSES if cls.code in wanted]
+    known = {cls.code for cls in _RULE_CLASSES}
+    unknown = wanted - known
+    if unknown:
+        raise ValueError(f"unknown lint rule code(s): {', '.join(sorted(unknown))}; "
+                         f"known: {', '.join(sorted(known))}")
+    return chosen

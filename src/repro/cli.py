@@ -10,7 +10,10 @@ Commands
              directory;
 ``report``   render a directory of saved results as a markdown report;
 ``list``     show available benchmarks, methods, selection strategies,
-             replay losses, and objectives.
+             replay losses, and objectives;
+``lint``     run the repo-specific static analysis (DET001/AD001/AD002/
+             API001) plus the gradcheck-coverage audit; exits non-zero on
+             any violation (see ``repro.analysis``).
 """
 
 from __future__ import annotations
@@ -130,6 +133,19 @@ def _command_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import main as lint_main
+
+    argv = list(args.paths)
+    if args.select:
+        argv += ["--select", args.select]
+    if args.tests:
+        argv += ["--tests", args.tests]
+    if args.no_coverage:
+        argv += ["--no-coverage"]
+    return lint_main(argv)
+
+
 def _command_list(_args: argparse.Namespace) -> int:
     print("benchmarks:", ", ".join(sorted(IMAGE_PRESETS)) + ", tabular")
     print("methods:   ", ", ".join(METHODS + ["multitask"]))
@@ -175,6 +191,18 @@ def build_parser() -> argparse.ArgumentParser:
     report_parser.add_argument("--output", help="write here instead of stdout")
     report_parser.add_argument("--title", default="Experiment report")
     report_parser.set_defaults(handler=_command_report)
+
+    lint_parser = subparsers.add_parser(
+        "lint", help="static analysis + gradcheck-coverage audit")
+    lint_parser.add_argument("paths", nargs="*", default=["src/repro"],
+                             help="files or directories to lint (default: src/repro)")
+    lint_parser.add_argument("--select", metavar="CODES",
+                             help="comma-separated rule codes (e.g. DET001,AD001)")
+    lint_parser.add_argument("--tests", metavar="DIR",
+                             help="gradcheck test dir (default: tests/tensor)")
+    lint_parser.add_argument("--no-coverage", action="store_true",
+                             help="skip the gradcheck-coverage audit")
+    lint_parser.set_defaults(handler=_command_lint)
 
     list_parser = subparsers.add_parser("list", help="show available components")
     list_parser.set_defaults(handler=_command_list)

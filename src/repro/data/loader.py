@@ -7,6 +7,7 @@ from typing import Iterator
 import numpy as np
 
 from repro.data.dataset import ArrayDataset
+from repro.utils.rng import fallback_rng
 
 
 class DataLoader:
@@ -33,7 +34,7 @@ class DataLoader:
         self.batch_size = batch_size
         self.shuffle = shuffle
         self.drop_last = drop_last
-        self.rng = rng or np.random.default_rng()
+        self.rng = rng or fallback_rng()
 
     def __len__(self) -> int:
         n = len(self.dataset)

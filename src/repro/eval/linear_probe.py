@@ -15,6 +15,7 @@ from repro.nn.linear import Linear
 from repro.optim.adam import Adam
 from repro.tensor import ops
 from repro.tensor.tensor import Tensor
+from repro.utils.rng import fallback_rng
 
 
 class LinearProbe:
@@ -34,7 +35,7 @@ class LinearProbe:
         self.lr = lr
         self.batch_size = batch_size
         self.weight_decay = weight_decay
-        self.rng = rng or np.random.default_rng()
+        self.rng = rng or fallback_rng()
         self._head: Linear | None = None
         self._classes: np.ndarray | None = None
         self._mean: np.ndarray | None = None

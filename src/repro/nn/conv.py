@@ -14,6 +14,7 @@ import numpy as np
 from repro.nn import init
 from repro.nn.module import Module, Parameter
 from repro.tensor.tensor import Tensor
+from repro.utils.rng import fallback_rng
 
 
 def _im2col(x: np.ndarray, kernel: int, stride: int, padding: int) -> tuple[np.ndarray, int, int]:
@@ -61,7 +62,7 @@ class Conv2d(Module):
                  stride: int = 1, padding: int = 0, bias: bool = True,
                  rng: np.random.Generator | None = None):
         super().__init__()
-        rng = rng or np.random.default_rng()
+        rng = rng or fallback_rng()
         self.in_channels = in_channels
         self.out_channels = out_channels
         self.kernel_size = kernel_size

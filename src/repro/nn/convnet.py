@@ -16,6 +16,7 @@ from repro.nn.module import Module
 from repro.nn.norm import BatchNorm2d
 from repro.nn.pool import GlobalAvgPool2d, MaxPool2d
 from repro.tensor.tensor import Tensor
+from repro.utils.rng import fallback_rng
 
 
 class TinyConvNet(Module):
@@ -34,7 +35,7 @@ class TinyConvNet(Module):
     def __init__(self, in_channels: int = 3, width: int = 16, image_size: int = 8,
                  rng: np.random.Generator | None = None):
         super().__init__()
-        rng = rng or np.random.default_rng()
+        rng = rng or fallback_rng()
         if image_size % 4:
             raise ValueError("image_size must be divisible by 4")
         self.output_dim = width * 4

@@ -12,6 +12,7 @@ import numpy as np
 
 from repro.nn.module import Module
 from repro.tensor.tensor import Tensor
+from repro.utils.rng import fallback_rng
 
 
 class Dropout(Module):
@@ -20,7 +21,7 @@ class Dropout(Module):
         if not 0.0 <= p < 1.0:
             raise ValueError("dropout probability must be in [0, 1)")
         self.p = p
-        self.rng = rng or np.random.default_rng()
+        self.rng = rng or fallback_rng()
 
     def forward(self, x: Tensor) -> Tensor:
         if not self.training or self.p == 0.0:

@@ -7,6 +7,7 @@ import numpy as np
 from repro.nn import init
 from repro.nn.module import Module, Parameter
 from repro.tensor.tensor import Tensor
+from repro.utils.rng import fallback_rng
 
 
 class Linear(Module):
@@ -19,15 +20,15 @@ class Linear(Module):
     bias:
         Whether to add a learnable bias.
     rng:
-        Generator for weight init; a fresh default generator is used when
-        omitted (only convenient for throwaway models — experiments always
-        pass one).
+        Generator for weight init; the seeded
+        :func:`repro.utils.rng.fallback_rng` is used when omitted (only
+        convenient for throwaway models — experiments always pass one).
     """
 
     def __init__(self, in_features: int, out_features: int, bias: bool = True,
                  rng: np.random.Generator | None = None):
         super().__init__()
-        rng = rng or np.random.default_rng()
+        rng = rng or fallback_rng()
         self.in_features = in_features
         self.out_features = out_features
         self.weight = Parameter(init.kaiming_uniform(rng, (in_features, out_features), in_features))

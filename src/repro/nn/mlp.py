@@ -18,6 +18,7 @@ from repro.nn.linear import Linear
 from repro.nn.module import Module
 from repro.nn.norm import BatchNorm1d
 from repro.tensor.tensor import Tensor
+from repro.utils.rng import fallback_rng
 
 
 class MLP(Module):
@@ -48,7 +49,7 @@ class MLP(Module):
             raise ValueError("MLP needs at least input and output dims")
         if norm not in ("batch", "layer"):
             raise ValueError(f"unknown norm {norm!r}; use 'batch' or 'layer'")
-        rng = rng or np.random.default_rng()
+        rng = rng or fallback_rng()
         self.dims = list(dims)
         layers: list[Module] = []
         for i in range(len(dims) - 1):

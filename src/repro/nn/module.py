@@ -120,7 +120,9 @@ class Module:
         for name, param in params.items():
             if param.data.shape != state[name].shape:
                 raise ValueError(f"shape mismatch for {name}: {param.data.shape} vs {state[name].shape}")
-            param.data = state[name].copy().astype(param.data.dtype)
+            # Sanctioned rebind: loading a checkpoint happens outside any live
+            # graph, and the version counter records it for safety anyway.
+            param.data = state[name].copy().astype(param.data.dtype)  # repro-lint: disable=AD001
         self._load_buffers(state, prefix="")
 
     def _load_buffers(self, state: dict[str, np.ndarray], prefix: str) -> None:

@@ -20,6 +20,7 @@ from repro.nn.norm import BatchNorm2d
 from repro.nn.pool import GlobalAvgPool2d
 from repro.tensor import ops
 from repro.tensor.tensor import Tensor
+from repro.utils.rng import fallback_rng
 
 
 class BasicBlock(Module):
@@ -28,7 +29,7 @@ class BasicBlock(Module):
     def __init__(self, in_channels: int, out_channels: int, stride: int = 1,
                  rng: np.random.Generator | None = None):
         super().__init__()
-        rng = rng or np.random.default_rng()
+        rng = rng or fallback_rng()
         self.conv1 = Conv2d(in_channels, out_channels, 3, stride=stride, padding=1,
                             bias=False, rng=rng)
         self.bn1 = BatchNorm2d(out_channels)
@@ -67,7 +68,7 @@ class ResNet(Module):
                  base_width: int = 64, in_channels: int = 3,
                  rng: np.random.Generator | None = None):
         super().__init__()
-        rng = rng or np.random.default_rng()
+        rng = rng or fallback_rng()
         self.stem = Sequential(
             Conv2d(in_channels, base_width, 3, padding=1, bias=False, rng=rng),
             BatchNorm2d(base_width),

@@ -52,12 +52,30 @@ class HighEntropySelection(SelectionStrategy):
                 for index in selected:
                     residual[index] = 0.0
                 basis = []
-                norms = np.einsum("ij,ij->i", residual, residual)
-                norms[~available] = -1.0
-                best = int(np.argmax(norms))
-                if norms[best] <= 0.0:
-                    # All remaining rows are exactly zero; fall back to any.
-                    best = int(np.argmax(available))
+                if selected:
+                    # Every remaining row lies in the selected span, so norm
+                    # no longer discriminates: a duplicate of a selected
+                    # sample scores high yet adds zero within-subset
+                    # variance.  Score by the variance a candidate would add
+                    # to the subset instead (distance from the selected
+                    # mean), which keeps the greedy trace at least as good
+                    # as a random pick even on degenerate duplicate-heavy
+                    # clouds.
+                    offsets = reps - reps[selected].mean(axis=0)
+                    gains = np.einsum("ij,ij->i", offsets, offsets)
+                    gains[~available] = -1.0
+                    best = int(np.argmax(gains))
+                    if gains[best] <= 0.0:
+                        # All remaining rows duplicate the selected mean;
+                        # fall back to any available sample.
+                        best = int(np.argmax(available))
+                else:
+                    norms = np.einsum("ij,ij->i", residual, residual)
+                    norms[~available] = -1.0
+                    best = int(np.argmax(norms))
+                    if norms[best] <= 0.0:
+                        # All rows are exactly zero; fall back to any.
+                        best = int(np.argmax(available))
             direction = residual[best] / (np.linalg.norm(residual[best]) + 1e-12)
             basis.append(direction)
             selected.append(best)

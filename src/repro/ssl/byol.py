@@ -22,6 +22,7 @@ from repro.ssl.base import CSSLObjective
 from repro.ssl.encoder import Encoder
 from repro.tensor import ops
 from repro.tensor.tensor import Tensor, no_grad
+from repro.utils.rng import fallback_rng
 
 
 class BYOL(CSSLObjective):
@@ -33,7 +34,7 @@ class BYOL(CSSLObjective):
         super().__init__(encoder)
         if not 0.0 <= tau < 1.0:
             raise ValueError("tau must be in [0, 1)")
-        rng = rng or np.random.default_rng()
+        rng = rng or fallback_rng()
         d = encoder.output_dim
         hidden = predictor_hidden or max(d // 4, 4)
         self.predictor = MLP([d, hidden, d], batch_norm=True, rng=rng)
@@ -53,7 +54,9 @@ class BYOL(CSSLObjective):
         """``theta_target <- tau * theta_target + (1 - tau) * theta_online``."""
         online = dict(self.encoder.named_parameters())
         for name, target_param in self._target.named_parameters():
-            target_param.data = (self.tau * target_param.data
+            # Sanctioned rebind: the EMA target is only ever run under
+            # no_grad, so no op has saved it for backward.
+            target_param.data = (self.tau * target_param.data  # repro-lint: disable=AD001
                                  + (1.0 - self.tau) * online[name].data)
         online_buffers = dict(self.encoder.named_buffers())
         for name, buf in self._target.named_buffers():

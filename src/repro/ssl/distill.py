@@ -15,6 +15,7 @@ from repro.nn.mlp import MLP
 from repro.nn.module import Module
 from repro.ssl.base import CSSLObjective
 from repro.tensor.tensor import Tensor
+from repro.utils.rng import fallback_rng
 
 
 class DistillationHead(Module):
@@ -32,7 +33,7 @@ class DistillationHead(Module):
 
     def __init__(self, objective: CSSLObjective, rng: np.random.Generator | None = None):
         super().__init__()
-        rng = rng or np.random.default_rng()
+        rng = rng or fallback_rng()
         d = objective.representation_dim
         # 2-layer MLP "with the same dimension as the representation" (Sec. IV-A5)
         self.projector = MLP([d, d, d], batch_norm=True, rng=rng)

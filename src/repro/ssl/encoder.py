@@ -14,6 +14,7 @@ from repro.nn.mlp import MLP
 from repro.nn.module import Module
 from repro.nn.resnet import resnet18, tiny_resnet
 from repro.tensor.tensor import Tensor
+from repro.utils.rng import fallback_rng
 
 
 def build_backbone(kind: str, rng: np.random.Generator, *, in_channels: int = 3,
@@ -57,7 +58,7 @@ class Encoder(Module):
     def __init__(self, backbone: Module, representation_dim: int,
                  rng: np.random.Generator | None = None):
         super().__init__()
-        rng = rng or np.random.default_rng()
+        rng = rng or fallback_rng()
         self.backbone = backbone
         self.projector = MLP([backbone.output_dim, representation_dim, representation_dim],
                              batch_norm=True, rng=rng)

@@ -15,6 +15,7 @@ from repro.ssl.base import CSSLObjective
 from repro.ssl.encoder import Encoder
 from repro.tensor import ops
 from repro.tensor.tensor import Tensor
+from repro.utils.rng import fallback_rng
 
 
 class SimSiam(CSSLObjective):
@@ -32,7 +33,7 @@ class SimSiam(CSSLObjective):
     def __init__(self, encoder: Encoder, predictor_hidden: int | None = None,
                  rng: np.random.Generator | None = None):
         super().__init__(encoder)
-        rng = rng or np.random.default_rng()
+        rng = rng or fallback_rng()
         d = encoder.output_dim
         hidden = predictor_hidden or max(d // 4, 4)
         self.predictor = MLP([d, hidden, d], batch_norm=True, rng=rng)

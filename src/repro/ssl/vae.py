@@ -26,6 +26,7 @@ from repro.ssl.base import CSSLObjective
 from repro.ssl.encoder import Encoder
 from repro.tensor import ops
 from repro.tensor.tensor import Tensor, no_grad
+from repro.utils.rng import fallback_rng
 
 
 class VAE(Module):
@@ -44,7 +45,7 @@ class VAE(Module):
     def __init__(self, input_dim: int, latent_dim: int, hidden_dim: int = 128,
                  rng: np.random.Generator | None = None):
         super().__init__()
-        rng = rng or np.random.default_rng()
+        rng = rng or fallback_rng()
         self.input_dim = input_dim
         self.latent_dim = latent_dim
         self.encoder = MLP([input_dim, hidden_dim], batch_norm=False,
@@ -106,7 +107,7 @@ class VAEObjective(CSSLObjective):
 
     def __init__(self, input_dim: int, latent_dim: int, hidden_dim: int = 128,
                  kl_weight: float = 1.0, rng: np.random.Generator | None = None):
-        rng = rng or np.random.default_rng()
+        rng = rng or fallback_rng()
         vae = VAE(input_dim, latent_dim, hidden_dim, rng=rng)
         super().__init__(_LatentMeanEncoder(vae))
         self.vae = vae

@@ -15,8 +15,12 @@ Design notes
   tape cut.
 - ``no_grad()`` disables tape recording for inference-only code paths
   (evaluation, data selection, memory snapshots).
+- ``detect_anomaly()`` enables the runtime sanitizer: every forward output
+  and backward gradient is checked for NaN/Inf and errors name the
+  offending op (see :mod:`repro.tensor.anomaly`).
 """
 
+from repro.tensor.anomaly import AnomalyError, detect_anomaly, is_anomaly_enabled
 from repro.tensor.tensor import Tensor, no_grad, is_grad_enabled, tensor
 from repro.tensor import ops
 from repro.tensor.ops import (
@@ -59,4 +63,7 @@ __all__ = [
     "l2_normalize",
     "numerical_gradient",
     "check_gradients",
+    "AnomalyError",
+    "detect_anomaly",
+    "is_anomaly_enabled",
 ]

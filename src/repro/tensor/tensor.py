@@ -15,6 +15,8 @@ from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
+from repro.tensor import anomaly
+
 DEFAULT_DTYPE = np.float32
 
 _GRAD_ENABLED = True
@@ -81,16 +83,39 @@ class Tensor:
     requires_grad:
         Whether gradients should be accumulated into ``self.grad`` during
         :meth:`backward`.
+
+    Notes
+    -----
+    ``data`` is a property backed by the ``_data`` slot.  Rebinding it
+    (``t.data = arr``) bumps the tensor's ``_version`` counter; ops record
+    their parents' versions at tape time and :meth:`backward` raises if a
+    tensor saved for backward was rebound afterwards (stale-closure
+    protection, the analog of torch's in-place version counters).  In-place
+    writes through the array itself (``t.data[...] = x``) bypass the
+    counter and are instead forbidden statically by lint rule AD001.
     """
 
-    __slots__ = ("data", "requires_grad", "grad", "_parents", "_op")
+    __slots__ = ("_data", "requires_grad", "grad", "_parents", "_parent_versions",
+                 "_op", "_version", "_created_at")
 
     def __init__(self, data, requires_grad: bool = False, *, _parents=(), _op: str = ""):
-        self.data = _as_array(data)
+        self._data = _as_array(data)
+        self._version = 0
         self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
         self.grad: np.ndarray | None = None
         self._parents: tuple = _parents if self.requires_grad or _parents else ()
+        self._parent_versions: tuple = ()
         self._op = _op
+        self._created_at = anomaly.capture_stack() if anomaly.is_anomaly_enabled() else None
+
+    @property
+    def data(self) -> np.ndarray:
+        return self._data
+
+    @data.setter
+    def data(self, value) -> None:
+        self._data = value if isinstance(value, np.ndarray) else _as_array(value)
+        self._version += 1
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -104,10 +129,13 @@ class Tensor:
         recording is enabled and any parent requires grad; otherwise the tape
         is not extended.
         """
+        if anomaly.is_anomaly_enabled():
+            anomaly.check_forward(np.asarray(data), op)
         if _GRAD_ENABLED and any(p.requires_grad for p, _fn in parents):
             out = Tensor(data, requires_grad=True,
                          _parents=tuple((p, fn) for p, fn in parents if p.requires_grad),
                          _op=op)
+            out._parent_versions = tuple(p._version for p, _fn in out._parents)
         else:
             out = Tensor(data, requires_grad=False)
         return out
@@ -202,6 +230,10 @@ class Tensor:
                 if id(parent) not in seen:
                     stack.append((parent, False))
 
+        check_anomaly = anomaly.is_anomaly_enabled()
+        if check_anomaly:
+            anomaly.check_backward(grad, self._op, self._created_at)
+
         grads: dict[int, np.ndarray] = {id(self): grad}
         for node in reversed(order):
             node_grad = grads.pop(id(node), None)
@@ -214,10 +246,23 @@ class Tensor:
                 else:
                     node.grad = node.grad + node_grad
                 continue
+            for (parent, _fn), saved in zip(node._parents, node._parent_versions):
+                if parent._version != saved:
+                    raise RuntimeError(
+                        f"a tensor saved for the backward of op '{node._op or 'unknown'}' "
+                        f"(a {parent._op or 'leaf'} tensor, shape {parent.shape}) was "
+                        f"modified after the forward pass: its .data was rebound "
+                        f"{parent._version - saved} time(s) since the op was taped. "
+                        f"Run backward() before mutating parameters, or detach() the "
+                        f"tensor if the mutation is intentional."
+                    )
             for parent, fn in node._parents:
                 contribution = fn(node_grad)
                 if contribution is None:
                     continue
+                if check_anomaly:
+                    anomaly.check_backward(np.asarray(contribution), node._op,
+                                           node._created_at)
                 key = id(parent)
                 if key in grads:
                     grads[key] = grads[key] + contribution

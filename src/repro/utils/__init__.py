@@ -1,12 +1,25 @@
-"""Shared utilities: seeding, multi-seed aggregation, table rendering."""
+"""Shared utilities: seeding, multi-seed aggregation, table rendering.
 
-from repro.utils.rng import spawn_rngs, seed_everything
-from repro.utils.results import AggregateResult, aggregate_runs, run_seeds
-from repro.utils.report import build_report, collect_results, write_report
-from repro.utils.serialization import load_model, load_result, save_model, save_result
+Import layering
+---------------
+``repro.utils.rng`` and ``repro.utils.tables`` are leaf modules (numpy
+only) and are imported eagerly, so low-level packages (``repro.nn``,
+``repro.data``) can depend on the central seeded-RNG plumbing without
+creating an import cycle.  The result/report/serialization helpers sit
+*above* ``repro.nn`` and ``repro.eval`` in the layering and are loaded
+lazily via module ``__getattr__`` (PEP 562) on first access; their names
+stay part of the declared ``__all__`` surface.
+"""
+
+from __future__ import annotations
+
+import importlib
+
+from repro.utils.rng import fallback_rng, spawn_rngs, seed_everything
 from repro.utils.tables import format_table, format_series, format_heatmap
 
 __all__ = [
+    "fallback_rng",
     "spawn_rngs",
     "seed_everything",
     "AggregateResult",
@@ -23,3 +36,29 @@ __all__ = [
     "format_series",
     "format_heatmap",
 ]
+
+_LAZY_EXPORTS = {
+    "AggregateResult": "repro.utils.results",
+    "aggregate_runs": "repro.utils.results",
+    "run_seeds": "repro.utils.results",
+    "save_model": "repro.utils.serialization",
+    "load_model": "repro.utils.serialization",
+    "save_result": "repro.utils.serialization",
+    "load_result": "repro.utils.serialization",
+    "collect_results": "repro.utils.report",
+    "build_report": "repro.utils.report",
+    "write_report": "repro.utils.report",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY_EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module 'repro.utils' has no attribute {name!r}")
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value  # cache so __getattr__ runs once per name
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_LAZY_EXPORTS))

@@ -19,3 +19,19 @@ def spawn_rngs(seed: int, n: int) -> list[np.random.Generator]:
 def seed_everything(seed: int) -> np.random.Generator:
     """Root generator for a run (the library never touches global state)."""
     return np.random.default_rng(seed)
+
+
+#: Seed used when a component is constructed without an explicit generator.
+#: Experiments always pass one; this exists so throwaway models built at a
+#: REPL are still reproducible instead of seeding from OS entropy.
+FALLBACK_SEED = 0x5EED
+
+
+def fallback_rng(seed: int | None = None) -> np.random.Generator:
+    """Deterministic default generator for components built without one.
+
+    This is the only sanctioned replacement for the seedless
+    ``np.random.default_rng()`` fallback pattern (lint rule DET001): two
+    processes that omit the ``rng`` argument now initialize identically.
+    """
+    return np.random.default_rng(FALLBACK_SEED if seed is None else seed)
