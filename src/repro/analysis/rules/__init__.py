@@ -6,6 +6,8 @@ Codes
 - ``AD001``  — in-place ``Tensor.data`` mutation (:class:`InplaceMutationRule`)
 - ``AD002``  — late-binding grad_fn closure (:class:`LateBindingClosureRule`)
 - ``API001`` — ``__all__`` export hygiene (:class:`ExportHygieneRule`)
+- ``SER001`` — non-serializable ``state_dict`` values
+  (:class:`StateDictSerializableRule`)
 """
 
 from __future__ import annotations
@@ -13,18 +15,20 @@ from __future__ import annotations
 from repro.analysis.rules.api import ExportHygieneRule
 from repro.analysis.rules.autograd import InplaceMutationRule, LateBindingClosureRule
 from repro.analysis.rules.determinism import SeedlessRNGRule
+from repro.analysis.rules.serialization import StateDictSerializableRule
 
 __all__ = [
     "ExportHygieneRule",
     "InplaceMutationRule",
     "LateBindingClosureRule",
     "SeedlessRNGRule",
+    "StateDictSerializableRule",
     "default_rules",
     "rules_by_code",
 ]
 
 _RULE_CLASSES = (SeedlessRNGRule, InplaceMutationRule, LateBindingClosureRule,
-                 ExportHygieneRule)
+                 ExportHygieneRule, StateDictSerializableRule)
 
 
 def default_rules():

@@ -3,11 +3,16 @@
 Commands
 --------
 ``run``      train one method on one benchmark, print Acc/Fgt and the
-             accuracy matrix, optionally save the result JSON;
+             accuracy matrix, optionally save the result JSON; with
+             ``--checkpoint-dir`` the run checkpoints atomically after every
+             task and ``--resume`` continues a killed run bit-for-bit;
+             ``--guardrails`` enables NaN/divergence recovery;
 ``compare``  train several methods on one benchmark and print a ranking
-             table (a single-seed Table III slice);
+             table (a single-seed Table III slice); ``--checkpoint-dir`` +
+             ``--resume`` checkpoint each method in its own subdirectory and
+             skip methods whose results are already complete;
 ``sweep``    run methods x seeds, saving one result JSON per run into a
-             directory;
+             directory; ``--resume`` skips runs whose JSON already exists;
 ``report``   render a directory of saved results as a markdown report;
 ``list``     show available benchmarks, methods, selection strategies,
              replay losses, and objectives;
@@ -51,6 +56,43 @@ def _config_from_args(args: argparse.Namespace) -> ContinualConfig:
     return ContinualConfig().with_overrides(**overrides)
 
 
+def _add_fault_tolerance_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--checkpoint-dir", dest="checkpoint_dir",
+                        help="write atomic per-task checkpoints + event log here")
+    parser.add_argument("--resume", action="store_true",
+                        help="continue from the last good checkpoint in "
+                             "--checkpoint-dir (bit-for-bit)")
+    parser.add_argument("--guardrails", action="store_true",
+                        help="enable divergence guardrails (skip batch -> "
+                             "restore with LR backoff -> abort with report)")
+    parser.add_argument("--max-grad-norm", dest="max_grad_norm", type=float,
+                        help="gradient-norm explosion threshold (implies --guardrails)")
+    parser.add_argument("--max-batch-skips", dest="max_batch_skips", type=int,
+                        help="skipped batches per task before a restore "
+                             "(implies --guardrails)")
+    parser.add_argument("--lr-backoff", dest="lr_backoff", type=float,
+                        help="LR factor applied per restore (implies --guardrails)")
+    parser.add_argument("--max-restores", dest="max_restores", type=int,
+                        help="restores per task before aborting (implies --guardrails)")
+
+
+def _guardrails_from_args(args: argparse.Namespace):
+    from repro.runtime import GuardrailPolicy
+
+    overrides = {}
+    if args.max_grad_norm is not None:
+        overrides["max_grad_norm"] = args.max_grad_norm
+    if args.max_batch_skips is not None:
+        overrides["max_skips_per_task"] = args.max_batch_skips
+    if args.lr_backoff is not None:
+        overrides["lr_backoff"] = args.lr_backoff
+    if args.max_restores is not None:
+        overrides["max_restores_per_task"] = args.max_restores
+    if not args.guardrails and not overrides:
+        return None
+    return GuardrailPolicy(**overrides)
+
+
 def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--epochs", type=int)
     parser.add_argument("--batch-size", dest="batch_size", type=int)
@@ -72,11 +114,16 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
 def _command_run(args: argparse.Namespace) -> int:
     sequence = _load_benchmark(args.benchmark, args.scale, args.n_tasks)
     config = _config_from_args(args)
+    if args.resume and not args.checkpoint_dir:
+        print("error: --resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
     if args.method == "multitask":
         result = run_multitask(sequence, config, seed=args.seed, verbose=True)
         print(f"Acc = {100 * result.acc():.2f}%")
         return 0
-    result = run_method(args.method, sequence, config, seed=args.seed, verbose=True)
+    result = run_method(args.method, sequence, config, seed=args.seed, verbose=True,
+                        checkpoint_dir=args.checkpoint_dir, resume=args.resume,
+                        guardrails=_guardrails_from_args(args))
     print(f"\nAcc = {100 * result.acc():.2f}%   Fgt = {100 * result.fgt():.2f}%   "
           f"time = {result.elapsed_seconds:.1f}s")
     with np.printoptions(precision=3, nanstr="  .  "):
@@ -88,8 +135,16 @@ def _command_run(args: argparse.Namespace) -> int:
 
 
 def _command_compare(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from repro.utils.serialization import load_result
+
     sequence = _load_benchmark(args.benchmark, args.scale, args.n_tasks)
     config = _config_from_args(args)
+    if args.resume and not args.checkpoint_dir:
+        print("error: --resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
+    guardrails = _guardrails_from_args(args)
     rows = []
     for method in args.methods:
         if method == "multitask":
@@ -97,7 +152,23 @@ def _command_compare(args: argparse.Namespace) -> int:
             rows.append(["multitask", f"{100 * result.acc():.2f}", "-",
                          f"{result.elapsed_seconds:.1f}"])
             continue
-        result = run_method(method, sequence, config, seed=args.seed)
+        method_dir = result_path = None
+        if args.checkpoint_dir:
+            method_dir = pathlib.Path(args.checkpoint_dir) / method
+            result_path = method_dir / "result.json"
+        if args.resume and result_path is not None and result_path.exists():
+            result = load_result(result_path)
+            if result.complete:
+                print(f"{method}: complete result found, skipping training")
+                rows.append([method, f"{100 * result.acc():.2f}",
+                             f"{100 * result.fgt():.2f}",
+                             f"{result.elapsed_seconds:.1f}"])
+                continue
+        result = run_method(method, sequence, config, seed=args.seed,
+                            checkpoint_dir=method_dir, resume=args.resume,
+                            guardrails=guardrails)
+        if result_path is not None:
+            save_result(result, result_path)
         rows.append([method, f"{100 * result.acc():.2f}", f"{100 * result.fgt():.2f}",
                      f"{result.elapsed_seconds:.1f}"])
     print(format_table(["method", "Acc %", "Fgt %", "time s"], rows,
@@ -114,8 +185,11 @@ def _command_sweep(args: argparse.Namespace) -> int:
     out_dir.mkdir(parents=True, exist_ok=True)
     for method in args.methods:
         for seed in range(args.seeds):
-            result = run_method(method, sequence, config, seed=seed)
             path = out_dir / f"{method}_seed{seed}.json"
+            if args.resume and path.exists():
+                print(f"{method} seed {seed}: result exists, skipping -> {path}")
+                continue
+            result = run_method(method, sequence, config, seed=seed)
             save_result(result, path)
             print(f"{method} seed {seed}: Acc={100 * result.acc():.2f} "
                   f"Fgt={100 * result.fgt():.2f} -> {path}")
@@ -166,6 +240,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("benchmark")
     run_parser.add_argument("--output", help="write the result JSON here")
     _add_config_arguments(run_parser)
+    _add_fault_tolerance_arguments(run_parser)
     run_parser.set_defaults(handler=_command_run)
 
     compare_parser = subparsers.add_parser("compare", help="rank several methods")
@@ -174,6 +249,7 @@ def build_parser() -> argparse.ArgumentParser:
                                 default=["finetune", "lump", "cassle", "edsr"],
                                 choices=METHODS + ["multitask"])
     _add_config_arguments(compare_parser)
+    _add_fault_tolerance_arguments(compare_parser)
     compare_parser.set_defaults(handler=_command_compare)
 
     sweep_parser = subparsers.add_parser("sweep", help="run methods x seeds, save JSONs")
@@ -183,6 +259,8 @@ def build_parser() -> argparse.ArgumentParser:
                               default=["finetune", "cassle", "edsr"],
                               choices=METHODS)
     sweep_parser.add_argument("--seeds", type=int, default=2)
+    sweep_parser.add_argument("--resume", action="store_true",
+                              help="skip runs whose result JSON already exists")
     _add_config_arguments(sweep_parser)
     sweep_parser.set_defaults(handler=_command_sweep)
 

@@ -59,3 +59,26 @@ class CaSSLe(ContinualMethod):
             return loss
         distill = (self._distill(view1) + self._distill(view2)) * 0.5
         return loss + self.config.distill_weight * distill
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["old_objective"] = (None if self.old_objective is None
+                                  else self.old_objective.state_dict())
+        state["head"] = None if self.head is None else self.head.state_dict()
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        if state["old_objective"] is None:
+            self.old_objective = None
+        else:
+            # Clone the live objective for structure, then overwrite with the
+            # frozen weights the snapshot recorded.
+            self.old_objective = self.objective.copy()
+            self.old_objective.load_state_dict(state["old_objective"])
+            self.old_objective.eval()
+        if state["head"] is None:
+            self.head = None
+        else:
+            self.head = DistillationHead(self.objective, rng=self.rng)
+            self.head.load_state_dict(state["head"])

@@ -50,6 +50,16 @@ class DER(ContinualMethod):
         replay = ops.mse(current, Tensor(targets))
         return loss + self.config.der_alpha * replay
 
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["buffer"] = None if self.buffer is None else self.buffer.state_dict()
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        self.buffer = (None if state["buffer"] is None
+                       else MemoryBuffer.from_state_dict(state["buffer"]))
+
     def end_task(self, task: Task, task_index: int) -> None:
         quota = self.buffer.per_task_quota
         if quota == 0:

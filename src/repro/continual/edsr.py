@@ -102,6 +102,20 @@ class EDSR(CaSSLe):
         ])  # (V, N, d)
         return reps.var(axis=0).mean(axis=1)
 
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["buffer"] = None if self.buffer is None else self.buffer.state_dict()
+        state["memory_old_reps"] = (None if self._memory_old_reps is None
+                                    else self._memory_old_reps.copy())
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        self.buffer = (None if state["buffer"] is None
+                       else MemoryBuffer.from_state_dict(state["buffer"]))
+        reps = state["memory_old_reps"]
+        self._memory_old_reps = None if reps is None else np.asarray(reps)
+
     def end_task(self, task: Task, task_index: int) -> None:
         quota = self.buffer.per_task_quota
         if quota == 0:

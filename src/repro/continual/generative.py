@@ -52,3 +52,18 @@ class GenerativeReplay(ContinualMethod):
         replay = self.objective.vae.elbo_loss(Tensor(generated), self.rng,
                                               self.objective.kl_weight)
         return loss + self.replay_weight * replay
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["old_objective"] = (None if self.old_objective is None
+                                  else self.old_objective.state_dict())
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        if state["old_objective"] is None:
+            self.old_objective = None
+        else:
+            self.old_objective = self.objective.copy()
+            self.old_objective.load_state_dict(state["old_objective"])
+            self.old_objective.eval()

@@ -73,6 +73,24 @@ class LinContinual(ContinualMethod):
         preservation = (diff * diff).mean()
         return loss + self.distance_weight * preservation
 
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["buffer"] = None if self.buffer is None else self.buffer.state_dict()
+        state["old_objective"] = (None if self.old_objective is None
+                                  else self.old_objective.state_dict())
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        self.buffer = (None if state["buffer"] is None
+                       else MemoryBuffer.from_state_dict(state["buffer"]))
+        if state["old_objective"] is None:
+            self.old_objective = None
+        else:
+            self.old_objective = self.objective.copy()
+            self.old_objective.load_state_dict(state["old_objective"])
+            self.old_objective.eval()
+
     def end_task(self, task: Task, task_index: int) -> None:
         quota = self.buffer.per_task_quota
         if quota == 0:

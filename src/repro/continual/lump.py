@@ -54,6 +54,16 @@ class LUMP(ContinualMethod):
         mixed2 = omega * view2 + (1.0 - omega) * mem2
         return self.objective.css_loss(mixed1, mixed2)
 
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["buffer"] = None if self.buffer is None else self.buffer.state_dict()
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        self.buffer = (None if state["buffer"] is None
+                       else MemoryBuffer.from_state_dict(state["buffer"]))
+
     def end_task(self, task: Task, task_index: int) -> None:
         quota = self.buffer.per_task_quota
         if quota == 0:

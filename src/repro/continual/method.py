@@ -7,7 +7,12 @@ A method wraps the live CSSL objective and contributes:
 - the per-batch training loss (:meth:`batch_loss`), which the trainer
   back-propagates;
 - optional optimizer-step hooks (:meth:`before_step` / :meth:`after_step`)
-  used by SI's path-integral importance tracking.
+  used by SI's path-integral importance tracking;
+- full run-state serialization (:meth:`state_dict` / :meth:`load_state_dict`)
+  so a checkpointed run resumes bit-for-bit: subclasses extend the base
+  snapshot with their frozen old models, memory buffers, importance
+  accumulators, and any other state the training trajectory depends on.
+  Values must be JSON/ndarray-serializable (lint rule SER001).
 """
 
 from __future__ import annotations
@@ -61,6 +66,28 @@ class ContinualMethod:
 
     def after_step(self) -> None:
         """Hook after ``optimizer.step()``."""
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Everything the training trajectory depends on, as a nested dict.
+
+        Leaves must be ndarrays, plain scalars, strings, ``None``, or
+        lists/dicts thereof — the checkpoint layer flattens them into an
+        ``.npz`` + JSON manifest (see :mod:`repro.runtime.checkpoint`).
+        Subclasses call ``super().state_dict()`` and extend the mapping.
+        """
+        return {"objective": self.objective.state_dict()}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output onto a freshly built method.
+
+        The method (and its objective) must have been constructed with the
+        same config/architecture; loading rebinds parameter values and
+        rebuilds any auxiliary models in place.
+        """
+        self.objective.load_state_dict(state["objective"])
 
 
 def make_method(name: str, objective: CSSLObjective, config: ContinualConfig,

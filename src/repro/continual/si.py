@@ -72,6 +72,28 @@ class SynapticIntelligence(ContinualMethod):
             self._omega[i] += -p.grad * delta
         self._pre_step = None
 
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state.update(
+            xi=self.xi,
+            omega=[a.copy() for a in self._omega],
+            big_omega=[a.copy() for a in self._big_omega],
+            anchor=[a.copy() for a in self._anchor],
+            task_start=[a.copy() for a in self._task_start],
+            task_index=self._task_index,
+        )
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        self.xi = float(state["xi"])
+        self._omega = [np.asarray(a).copy() for a in state["omega"]]
+        self._big_omega = [np.asarray(a).copy() for a in state["big_omega"]]
+        self._anchor = [np.asarray(a).copy() for a in state["anchor"]]
+        self._task_start = [np.asarray(a).copy() for a in state["task_start"]]
+        self._task_index = int(state["task_index"])
+        self._pre_step = None  # transient within-step scratch, never persisted
+
     def end_task(self, task: Task, task_index: int) -> None:
         for i, p in enumerate(self._params):
             total_change = p.data - self._task_start[i]

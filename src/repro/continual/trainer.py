@@ -5,10 +5,22 @@ For each increment: fresh optimizer over the method's current parameter set
 around each optimizer step, then the method's ``end_task`` (selection /
 consolidation) and a KNN evaluation over all increments seen so far — one
 row of the accuracy matrix.
+
+Fault tolerance (``repro.runtime``) threads through the same loop:
+
+- with a ``checkpoint_dir``, the full run state (method, memory, RNG
+  stream, partial accuracy matrix) is checkpointed atomically after every
+  increment, and ``run(..., resume=True)`` continues a killed run
+  bit-for-bit from the last good checkpoint;
+- with a ``guardrails`` policy, every batch is screened for NaN/Inf loss,
+  exploding gradients, and autograd anomalies, recovering by an escalating
+  ladder: skip batch → restore the task-start state with LR backoff →
+  abort with a structured failure report (:class:`TrainingDiverged`).
 """
 
 from __future__ import annotations
 
+import pathlib
 import time
 
 import numpy as np
@@ -23,6 +35,13 @@ from repro.data.splits import TaskSequence
 from repro.eval.metrics import ContinualResult
 from repro.eval.protocol import evaluate_tasks
 from repro.optim import SGD, Adam, ConstantLR, CosineLR
+from repro.runtime.checkpoint import CheckpointError, CheckpointManager
+from repro.runtime.guardrail import (GuardrailPolicy, GuardrailViolation,
+                                     RunLog, TrainingDiverged,
+                                     build_failure_report, clip_detail,
+                                     global_grad_norm)
+from repro.tensor.anomaly import AnomalyError, detect_anomaly
+from repro.utils.rng import get_rng_state, set_rng_state
 
 
 def _build_optimizer(config: ContinualConfig, parameters):
@@ -64,58 +83,274 @@ class ContinualTrainer:
         Generator for loader shuffling and augmentation.
     verbose:
         Print one line per increment.
+    checkpoint_dir:
+        Directory for per-task atomic checkpoints and the event log; the
+        run becomes resumable via ``run(..., resume=True)``.  ``None``
+        disables checkpointing.
+    guardrails:
+        A :class:`GuardrailPolicy` enabling divergence detection and
+        recovery.  ``None`` (default) trains unguarded, exactly as before.
+    keep_checkpoints:
+        Retain only the newest N checkpoints (``None`` keeps all).
     """
 
     def __init__(self, method: ContinualMethod, config: ContinualConfig,
-                 rng: np.random.Generator, verbose: bool = False):
+                 rng: np.random.Generator, verbose: bool = False,
+                 checkpoint_dir: str | pathlib.Path | None = None,
+                 guardrails: GuardrailPolicy | None = None,
+                 keep_checkpoints: int | None = None):
         self.method = method
         self.config = config
         self.rng = rng
         self.verbose = verbose
+        self.guardrails = guardrails
+        self.checkpoints = None
+        log_path = None
+        if checkpoint_dir is not None:
+            self.checkpoints = CheckpointManager(checkpoint_dir, keep=keep_checkpoints)
+            log_path = self.checkpoints.directory / "events.jsonl"
+        self.log = RunLog(log_path)
 
-    def run(self, sequence: TaskSequence) -> ContinualResult:
+    # ------------------------------------------------------------------
+    # Run state
+    # ------------------------------------------------------------------
+    def _run_state(self, task_index: int, n_tasks: int,
+                   result: ContinualResult) -> dict:
+        """The full serializable state of the run after ``task_index``."""
+        return {
+            "method_name": self.method.name,
+            "n_tasks": n_tasks,
+            "task_index": task_index,
+            "method": self.method.state_dict(),
+            "rng": get_rng_state(self.rng),
+            "result": result.state_dict(),
+        }
+
+    def _restore_run_state(self, state: dict, n_tasks: int,
+                           result: ContinualResult) -> int:
+        """Load a checkpoint state; returns the first task still to run."""
+        if state["method_name"] != self.method.name:
+            raise CheckpointError(
+                f"checkpoint was written by method {state['method_name']!r}, "
+                f"this trainer runs {self.method.name!r}")
+        if int(state["n_tasks"]) != n_tasks:
+            raise CheckpointError(
+                f"checkpoint covers a {state['n_tasks']}-task sequence, "
+                f"this run has {n_tasks} tasks")
+        self.method.load_state_dict(state["method"])
+        set_rng_state(self.rng, state["rng"])
+        result.load_state_dict(state["result"])
+        return int(state["task_index"]) + 1
+
+    def _save_checkpoint(self, task_index: int, n_tasks: int,
+                         result: ContinualResult) -> None:
+        if self.checkpoints is None:
+            return
+        path = self.checkpoints.save(
+            task_index, self._run_state(task_index, n_tasks, result))
+        self.log.append("checkpoint", task_index=task_index, path=str(path))
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def run(self, sequence: TaskSequence, resume: bool = False) -> ContinualResult:
         config = self.config
         method = self.method
-        result = ContinualResult(len(sequence), name=method.name)
+        n_tasks = len(sequence)
+        result = ContinualResult(n_tasks, name=method.name)
+        start_task = 0
+        prior_elapsed = 0.0
+
+        if resume:
+            if self.checkpoints is None:
+                raise ValueError("resume=True requires a checkpoint_dir")
+            loaded = self.checkpoints.load_latest()
+            if loaded is not None:
+                for reason in loaded.skipped:
+                    self.log.append("corrupt-checkpoint", detail=reason)
+                start_task = self._restore_run_state(loaded.state, n_tasks, result)
+                prior_elapsed = result.elapsed_seconds
+                self.log.append("resume", task_index=start_task,
+                                checkpoint=str(loaded.path))
+                if self.verbose:
+                    print(f"[{method.name}] resumed after task "
+                          f"{start_task}/{n_tasks} from {loaded.path.name}")
+
         start = time.perf_counter()
-
         for task_index, task in enumerate(sequence):
-            method.augment = _build_augment(config, task.train.x)
-            method.begin_task(task, task_index, len(sequence))
-            optimizer = _build_optimizer(config, method.trainable_parameters())
-            schedule = _build_schedule(config, optimizer)
-            loader = DataLoader(task.train, config.batch_size, shuffle=True, rng=self.rng)
-
-            method.objective.train()
-            for epoch in range(config.epochs):
-                schedule.step(epoch)
-                for x_batch, _y_batch in loader:
-                    view1, view2 = method.augment(x_batch, self.rng)
-                    optimizer.zero_grad()
-                    loss = method.batch_loss(view1, view2, x_batch)
-                    loss.backward()
-                    method.before_step()
-                    optimizer.step()
-                    method.after_step()
-
-            method.end_task(task, task_index)
+            if task_index < start_task:
+                continue
+            self._run_task(task, task_index, n_tasks)
             accuracies = evaluate_tasks(method.objective, list(sequence)[:task_index + 1],
                                         knn_k=config.knn_k)
             result.record_row(accuracies)
+            result.elapsed_seconds = prior_elapsed + (time.perf_counter() - start)
+            self._save_checkpoint(task_index, n_tasks, result)
             if self.verbose:
-                print(f"[{method.name}] task {task_index + 1}/{len(sequence)}: "
+                print(f"[{method.name}] task {task_index + 1}/{n_tasks}: "
                       f"Acc={result.acc_at(task_index):.4f} Fgt={result.fgt_at(task_index):.4f}")
 
-        result.elapsed_seconds = time.perf_counter() - start
+        result.elapsed_seconds = prior_elapsed + (time.perf_counter() - start)
         return result
+
+    # ------------------------------------------------------------------
+    # One task, with the guardrail escalation ladder
+    # ------------------------------------------------------------------
+    def _run_task(self, task, task_index: int, n_tasks: int) -> None:
+        config = self.config
+        method = self.method
+        policy = self.guardrails
+        method.augment = _build_augment(config, task.train.x)
+
+        # Task-start snapshot: equivalent to the last good checkpoint (same
+        # boundary), held in memory so a restore never touches disk.
+        snapshot = None
+        if policy is not None:
+            snapshot = {"method": method.state_dict(),
+                        "rng": get_rng_state(self.rng)}
+
+        restores = 0
+        while True:
+            method.begin_task(task, task_index, n_tasks)
+            optimizer = _build_optimizer(config, method.trainable_parameters())
+            if restores:
+                optimizer.lr *= policy.lr_backoff ** restores
+            schedule = _build_schedule(config, optimizer)
+            loader = DataLoader(task.train, config.batch_size, shuffle=True, rng=self.rng)
+            method.objective.train()
+
+            if self._train_task_epochs(loader, schedule, optimizer, task_index):
+                method.end_task(task, task_index)
+                return
+
+            # Too many poisoned batches: escalate to restore + LR backoff.
+            if restores >= policy.max_restores_per_task:
+                self._abort(task_index, restores)
+            restores += 1
+            method.load_state_dict(snapshot["method"])
+            set_rng_state(self.rng, snapshot["rng"])
+            self.log.append("restore", task_index=task_index, restores=restores,
+                            lr_scale=policy.lr_backoff ** restores)
+            if self.verbose:
+                print(f"[{method.name}] task {task_index + 1}: diverged, "
+                      f"restored task-start state (retry {restores}, "
+                      f"lr x{policy.lr_backoff ** restores:g})")
+
+        # unreachable
+
+    def _train_task_epochs(self, loader, schedule, optimizer,
+                           task_index: int) -> bool:
+        """Run the epoch loop; ``False`` means the skip budget was exhausted."""
+        config = self.config
+        policy = self.guardrails
+        skips = 0
+        for epoch in range(config.epochs):
+            schedule.step(epoch)
+            for batch_index, (x_batch, _y_batch) in enumerate(loader):
+                event = self._guarded_step(x_batch, optimizer, task_index,
+                                           epoch, batch_index)
+                if event is None:
+                    continue
+                skips += 1
+                if skips > policy.max_skips_per_task:
+                    self.log.append("skip-budget-exhausted", task_index=task_index,
+                                    epoch=epoch, skips=skips)
+                    return False
+        return True
+
+    def _guarded_step(self, x_batch, optimizer, task_index: int, epoch: int,
+                      batch_index: int) -> dict | None:
+        """One optimizer step; returns the logged event if the batch was skipped."""
+        method = self.method
+        policy = self.guardrails
+        view1, view2 = method.augment(x_batch, self.rng)
+        optimizer.zero_grad()
+
+        if policy is None:
+            loss = method.batch_loss(view1, view2, x_batch)
+            loss.backward()
+            method.before_step()
+            optimizer.step()
+            method.after_step()
+            return None
+
+        try:
+            if policy.anomaly_mode:
+                with detect_anomaly():
+                    loss = method.batch_loss(view1, view2, x_batch)
+                    self._check_loss(loss, policy)
+                    loss.backward()
+            else:
+                loss = method.batch_loss(view1, view2, x_batch)
+                self._check_loss(loss, policy)
+                loss.backward()
+        except AnomalyError as exc:
+            optimizer.zero_grad()
+            return self._skip_event("anomaly", exc, task_index, epoch, batch_index)
+        except GuardrailViolation as exc:
+            optimizer.zero_grad()
+            return self._skip_event(exc.kind, exc, task_index, epoch, batch_index)
+
+        norm = global_grad_norm(optimizer.parameters)
+        if not np.isfinite(norm) or (policy.max_grad_norm is not None
+                                     and norm > policy.max_grad_norm):
+            optimizer.zero_grad()
+            return self._skip_event(
+                "grad-explosion",
+                f"global gradient norm {norm:.3e} exceeds "
+                f"{policy.max_grad_norm:.3e}" if np.isfinite(norm)
+                else f"global gradient norm is {norm}",
+                task_index, epoch, batch_index)
+
+        method.before_step()
+        optimizer.step()
+        method.after_step()
+        return None
+
+    @staticmethod
+    def _check_loss(loss, policy: GuardrailPolicy) -> None:
+        value = float(loss.data)
+        if not np.isfinite(value):
+            raise GuardrailViolation("nonfinite-loss", f"batch loss is {value}")
+        if policy.max_loss is not None and abs(value) > policy.max_loss:
+            raise GuardrailViolation(
+                "loss-explosion",
+                f"batch loss {value:.3e} exceeds {policy.max_loss:.3e}")
+
+    def _skip_event(self, kind: str, detail, task_index: int, epoch: int,
+                    batch_index: int) -> dict:
+        return self.log.append(kind, action="skip-batch", task_index=task_index,
+                               epoch=epoch, batch=batch_index,
+                               detail=clip_detail(detail))
+
+    def _abort(self, task_index: int, restores: int) -> None:
+        report = build_failure_report(self.method.name, task_index, restores,
+                                      self.guardrails, self.log)
+        report_path = self.log.write_failure_report(report)
+        self.log.append("abort", task_index=task_index, restores=restores,
+                        report=None if report_path is None else str(report_path))
+        raise TrainingDiverged(report["message"], report=report,
+                               report_path=report_path)
 
 
 def run_method(name: str, sequence: TaskSequence, config: ContinualConfig,
-               seed: int = 0, verbose: bool = False) -> ContinualResult:
-    """One-call convenience: build objective + method, train, return result."""
+               seed: int = 0, verbose: bool = False,
+               checkpoint_dir: str | pathlib.Path | None = None,
+               resume: bool = False,
+               guardrails: GuardrailPolicy | None = None) -> ContinualResult:
+    """One-call convenience: build objective + method, train, return result.
+
+    ``checkpoint_dir``/``resume``/``guardrails`` are forwarded to
+    :class:`ContinualTrainer`; a resumed run rebuilds the objective and
+    method from the same seed, then the checkpoint overwrites every piece of
+    state (including the RNG stream), so the continuation is bit-for-bit
+    identical to the uninterrupted run.
+    """
     rng = np.random.default_rng(seed)
     sample_shape = sequence[0].train.x.shape[1:]
     objective = build_objective(config, sample_shape, rng)
     method = make_method(name, objective, config, rng)
-    trainer = ContinualTrainer(method, config, rng, verbose=verbose)
-    return trainer.run(sequence)
+    trainer = ContinualTrainer(method, config, rng, verbose=verbose,
+                               checkpoint_dir=checkpoint_dir,
+                               guardrails=guardrails)
+    return trainer.run(sequence, resume=resume)

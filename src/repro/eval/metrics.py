@@ -59,6 +59,38 @@ class ContinualResult:
     def complete(self) -> bool:
         return self._rows_recorded == self.n_tasks
 
+    @property
+    def rows_recorded(self) -> int:
+        """Number of increments recorded so far (< ``n_tasks`` if interrupted)."""
+        return self._rows_recorded
+
+    # ------------------------------------------------------------------
+    # Serialization (checkpoint/resume)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Snapshot the partially filled matrix and timing for a checkpoint."""
+        return {
+            "name": self.name,
+            "n_tasks": self.n_tasks,
+            "rows_recorded": self._rows_recorded,
+            "accuracy_matrix": self.accuracy_matrix.copy(),
+            "elapsed_seconds": float(self.elapsed_seconds),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a snapshot taken by :meth:`state_dict`."""
+        if int(state["n_tasks"]) != self.n_tasks:
+            raise ValueError(f"result state holds {state['n_tasks']} tasks, "
+                             f"this result expects {self.n_tasks}")
+        matrix = np.asarray(state["accuracy_matrix"], dtype=np.float64)
+        if matrix.shape != self.accuracy_matrix.shape:
+            raise ValueError(f"accuracy matrix shape {matrix.shape} != "
+                             f"{self.accuracy_matrix.shape}")
+        self.name = state["name"]
+        self.accuracy_matrix = matrix.copy()
+        self._rows_recorded = int(state["rows_recorded"])
+        self.elapsed_seconds = float(state["elapsed_seconds"])
+
     # ------------------------------------------------------------------
     # Paper metrics
     # ------------------------------------------------------------------

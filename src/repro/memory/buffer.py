@@ -28,6 +28,27 @@ class MemoryRecord:
     def __len__(self) -> int:
         return len(self.samples)
 
+    def state_dict(self) -> dict:
+        """Serializable snapshot (arrays copied; optional fields stay None)."""
+        return {
+            "task_id": int(self.task_id),
+            "samples": self.samples.copy(),
+            "noise_scales": None if self.noise_scales is None else self.noise_scales.copy(),
+            "targets": None if self.targets is None else self.targets.copy(),
+            "labels": None if self.labels is None else self.labels.copy(),
+        }
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "MemoryRecord":
+        """Rebuild a record from :meth:`state_dict` output."""
+        return cls(
+            task_id=int(state["task_id"]),
+            samples=np.asarray(state["samples"]),
+            noise_scales=None if state["noise_scales"] is None else np.asarray(state["noise_scales"]),
+            targets=None if state["targets"] is None else np.asarray(state["targets"]),
+            labels=None if state["labels"] is None else np.asarray(state["labels"]),
+        )
+
 
 class MemoryBuffer:
     """Fixed total budget split evenly across the expected task count."""
@@ -52,10 +73,21 @@ class MemoryBuffer:
     def is_empty(self) -> bool:
         return len(self) == 0
 
+    @property
+    def unused_budget(self) -> int:
+        """Budget the even integer split cannot assign (``s mod n_tasks``)."""
+        return self.total_budget - self.per_task_quota * self.n_tasks
+
     def add(self, record: MemoryRecord) -> None:
         if len(record) > self.per_task_quota:
+            hint = ""
+            if self.unused_budget:
+                hint = (f" (the even split of budget {self.total_budget} over "
+                        f"{self.n_tasks} tasks leaves {self.unused_budget} "
+                        f"samples of quota unused)")
             raise ValueError(
-                f"record of {len(record)} samples exceeds per-task quota {self.per_task_quota}")
+                f"record of {len(record)} samples exceeds per-task quota "
+                f"{self.per_task_quota}{hint}")
         if any(r.task_id == record.task_id for r in self.records):
             raise ValueError(f"task {record.task_id} already stored")
         self.records.append(record)
@@ -76,6 +108,22 @@ class MemoryBuffer:
         if any(t is None for t in targets):
             raise ValueError("some records lack stored targets")
         return np.concatenate(targets, axis=0)
+
+    def state_dict(self) -> dict:
+        """Serializable snapshot of the buffer: budget split plus all records."""
+        return {
+            "total_budget": self.total_budget,
+            "n_tasks": self.n_tasks,
+            "records": [r.state_dict() for r in self.records],
+        }
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "MemoryBuffer":
+        """Rebuild a buffer (and its records) from :meth:`state_dict` output."""
+        buffer = cls(int(state["total_budget"]), int(state["n_tasks"]))
+        for record_state in state["records"]:
+            buffer.add(MemoryRecord.from_state_dict(record_state))
+        return buffer
 
     def sample_batch(self, batch_size: int, rng: np.random.Generator) -> np.ndarray:
         """Indices of a replay batch drawn uniformly from the whole memory."""

@@ -12,6 +12,8 @@ from repro.optim.base import Optimizer
 
 
 class Adam(Optimizer):
+    _hyper_keys = ("lr", "beta1", "beta2", "eps", "weight_decay")
+
     def __init__(self, parameters, lr: float = 1e-3, betas: tuple[float, float] = (0.9, 0.999),
                  eps: float = 1e-8, weight_decay: float = 0.0):
         super().__init__(parameters, lr)

@@ -1,0 +1,56 @@
+"""Fault-tolerance layer: atomic checkpoints, resume, divergence guardrails.
+
+``repro.runtime`` makes long continual runs restartable and self-healing:
+
+- :class:`CheckpointManager` — atomic, integrity-checked per-task
+  checkpoints of the *full* run state (model, method extras, optimizer
+  buffers, memory, RNG stream, partial accuracy matrix), with corrupt-file
+  fallback to the last good checkpoint;
+- :class:`GuardrailPolicy` — configurable divergence detection (NaN/Inf
+  loss, exploding gradients, autograd anomalies) with an escalating
+  recovery ladder: skip batch → restore + LR backoff → structured abort
+  (:class:`TrainingDiverged`);
+- :class:`RunLog` — the JSONL event trail both subsystems write to the run
+  directory.
+
+See ``DESIGN.md`` ("Fault tolerance") for the checkpoint format and the
+atomicity argument.
+"""
+
+from repro.runtime.checkpoint import (
+    CheckpointError,
+    CheckpointManager,
+    LoadedCheckpoint,
+    SCHEMA_VERSION,
+    atomic_write_bytes,
+    check_serializable,
+    flatten_state,
+    unflatten_state,
+)
+from repro.runtime.guardrail import (
+    GuardrailPolicy,
+    GuardrailViolation,
+    RunLog,
+    TrainingDiverged,
+    build_failure_report,
+    clip_detail,
+    global_grad_norm,
+)
+
+__all__ = [
+    "CheckpointError",
+    "CheckpointManager",
+    "LoadedCheckpoint",
+    "SCHEMA_VERSION",
+    "atomic_write_bytes",
+    "check_serializable",
+    "flatten_state",
+    "unflatten_state",
+    "GuardrailPolicy",
+    "GuardrailViolation",
+    "RunLog",
+    "TrainingDiverged",
+    "build_failure_report",
+    "clip_detail",
+    "global_grad_norm",
+]

@@ -15,11 +15,14 @@ from __future__ import annotations
 
 import importlib
 
-from repro.utils.rng import fallback_rng, spawn_rngs, seed_everything
+from repro.utils.rng import (fallback_rng, get_rng_state, set_rng_state,
+                             spawn_rngs, seed_everything)
 from repro.utils.tables import format_table, format_series, format_heatmap
 
 __all__ = [
     "fallback_rng",
+    "get_rng_state",
+    "set_rng_state",
     "spawn_rngs",
     "seed_everything",
     "AggregateResult",

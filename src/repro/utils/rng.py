@@ -7,6 +7,8 @@ independent streams so adding a component never perturbs another's draws.
 
 from __future__ import annotations
 
+import copy
+
 import numpy as np
 
 
@@ -35,3 +37,24 @@ def fallback_rng(seed: int | None = None) -> np.random.Generator:
     processes that omit the ``rng`` argument now initialize identically.
     """
     return np.random.default_rng(FALLBACK_SEED if seed is None else seed)
+
+
+def get_rng_state(rng: np.random.Generator) -> dict:
+    """Snapshot a generator's bit-generator state as a JSON-serializable dict.
+
+    The returned mapping is exactly what numpy exposes as
+    ``rng.bit_generator.state`` (plain ints and strings — PCG64 state words
+    are arbitrary-precision Python ints, which JSON handles natively), deep
+    copied so later draws do not mutate the snapshot.
+    """
+    return copy.deepcopy(rng.bit_generator.state)
+
+
+def set_rng_state(rng: np.random.Generator, state: dict) -> None:
+    """Restore a generator to a state captured by :func:`get_rng_state`.
+
+    After this call the generator's draw sequence continues bit-for-bit from
+    where the snapshot was taken — the keystone of checkpoint/resume
+    determinism.
+    """
+    rng.bit_generator.state = copy.deepcopy(state)

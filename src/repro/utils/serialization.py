@@ -3,6 +3,11 @@
 Model state dicts go to ``.npz`` (pure arrays); continual results go to
 ``.json`` with the accuracy matrix inlined, so downstream analysis does not
 need this library installed.
+
+Interrupted runs are first-class: :func:`save_result` records how many rows
+of the accuracy matrix were actually recorded, and :func:`load_result`
+rebuilds exactly that partial state, so ``save → load`` round-trips both
+complete and partial results (including ``elapsed_seconds``).
 """
 
 from __future__ import annotations
@@ -16,28 +21,58 @@ from repro.eval.metrics import ContinualResult
 from repro.nn.module import Module
 
 
-def save_model(module: Module, path: str | pathlib.Path) -> None:
-    """Serialize a module's state dict to a compressed ``.npz`` archive."""
+def _npz_path(path: str | pathlib.Path) -> pathlib.Path:
+    """Normalize a model path to the ``.npz`` file numpy actually writes.
+
+    ``np.savez_compressed`` silently appends ``.npz`` when the given path
+    lacks the suffix; applying the same normalization on both the save and
+    load side keeps the two functions symmetric for any caller-supplied path.
+    """
+    path = pathlib.Path(path)
+    if path.suffix == ".npz":
+        return path
+    return path.with_name(path.name + ".npz")
+
+
+def save_model(module: Module, path: str | pathlib.Path) -> pathlib.Path:
+    """Serialize a module's state dict to a compressed ``.npz`` archive.
+
+    Returns the path actually written (with the ``.npz`` suffix applied).
+    """
     state = module.state_dict()
+    target = _npz_path(path)
     # npz keys may not contain '/'; state-dict names never do, but be safe.
-    np.savez_compressed(str(path), **state)
+    np.savez_compressed(str(target), **state)
+    return target
 
 
 def load_model(module: Module, path: str | pathlib.Path) -> Module:
-    """Restore a module's parameters and buffers from :func:`save_model`."""
-    with np.load(str(path)) as archive:
+    """Restore a module's parameters and buffers from :func:`save_model`.
+
+    Accepts the same path the caller passed to :func:`save_model`, with or
+    without the ``.npz`` suffix.
+    """
+    with np.load(str(_npz_path(path))) as archive:
         state = {key: archive[key] for key in archive.files}
     module.load_state_dict(state)
     return module
 
 
 def save_result(result: ContinualResult, path: str | pathlib.Path) -> None:
-    """Write a continual run's metrics and matrix to JSON."""
+    """Write a continual run's metrics and matrix to JSON.
+
+    Partial results (interrupted runs) are saved faithfully: the summary
+    metrics are ``None`` when no row has been recorded, and the explicit
+    ``rows_recorded`` count lets :func:`load_result` restore the exact
+    partial state rather than guessing from ``None`` entries.
+    """
+    recorded = result.rows_recorded
     payload = {
         "name": result.name,
         "n_tasks": result.n_tasks,
-        "acc": result.acc(),
-        "fgt": result.fgt(),
+        "rows_recorded": recorded,
+        "acc": result.acc() if recorded else None,
+        "fgt": result.fgt() if recorded else None,
         "elapsed_seconds": result.elapsed_seconds,
         "accuracy_matrix": [
             [None if np.isnan(v) else float(v) for v in row]
@@ -47,15 +82,33 @@ def save_result(result: ContinualResult, path: str | pathlib.Path) -> None:
     pathlib.Path(path).write_text(json.dumps(payload, indent=2))
 
 
+def _infer_rows_recorded(matrix: list[list[float | None]], n_tasks: int) -> int:
+    """Row count for legacy files that predate the ``rows_recorded`` field."""
+    for i in range(n_tasks):
+        if any(matrix[i][j] is None for j in range(i + 1)):
+            return i
+    return n_tasks
+
+
 def load_result(path: str | pathlib.Path) -> ContinualResult:
-    """Rebuild a :class:`ContinualResult` from :func:`save_result` output."""
+    """Rebuild a :class:`ContinualResult` from :func:`save_result` output.
+
+    Round-trips partial matrices: exactly ``rows_recorded`` rows are
+    restored, and a recorded row containing ``None`` (a corrupted file) is an
+    error instead of a silent truncation.
+    """
     payload = json.loads(pathlib.Path(path).read_text())
-    result = ContinualResult(payload["n_tasks"], name=payload["name"])
+    n_tasks = payload["n_tasks"]
+    result = ContinualResult(n_tasks, name=payload["name"])
     matrix = payload["accuracy_matrix"]
-    for i in range(payload["n_tasks"]):
+    recorded = payload.get("rows_recorded")
+    if recorded is None:
+        recorded = _infer_rows_recorded(matrix, n_tasks)
+    for i in range(recorded):
         row = [matrix[i][j] for j in range(i + 1)]
         if any(v is None for v in row):
-            break
+            raise ValueError(
+                f"{path}: row {i} is marked recorded but contains null entries")
         result.record_row(row)
     result.elapsed_seconds = payload["elapsed_seconds"]
     return result

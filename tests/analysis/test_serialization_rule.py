@@ -1,0 +1,135 @@
+"""SER001 — state_dict serializability rule, positive and negative cases."""
+
+import textwrap
+
+from repro.analysis import lint_file
+from repro.analysis.rules import StateDictSerializableRule
+
+
+def write(path, source):
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return path
+
+
+def lint(tmp_path, source):
+    path = write(tmp_path / "mod.py", source)
+    return lint_file(path, [StateDictSerializableRule()])
+
+
+def codes(violations):
+    return [v.code for v in violations]
+
+
+class TestSER001Fires:
+    def test_lambda_value(self, tmp_path):
+        found = lint(tmp_path, """\
+            class M:
+                def state_dict(self):
+                    return {"factory": lambda: 1}
+        """)
+        assert codes(found) == ["SER001"]
+        assert "lambda" in found[0].message
+
+    def test_set_literal_value(self, tmp_path):
+        found = lint(tmp_path, """\
+            class M:
+                def state_dict(self):
+                    return {"ids": {1, 2, 3}}
+        """)
+        assert codes(found) == ["SER001"]
+        assert "set" in found[0].message
+
+    def test_generator_expression_value(self, tmp_path):
+        found = lint(tmp_path, """\
+            class M:
+                def state_dict(self):
+                    state = {}
+                    state["rows"] = (r for r in self.rows)
+                    return state
+        """)
+        assert codes(found) == ["SER001"]
+
+    def test_bytes_value(self, tmp_path):
+        found = lint(tmp_path, """\
+            class M:
+                def state_dict(self):
+                    return {"blob": b"raw"}
+        """)
+        assert codes(found) == ["SER001"]
+
+    def test_id_call_value(self, tmp_path):
+        found = lint(tmp_path, """\
+            class M:
+                def state_dict(self):
+                    return {"param_key": id(self.param)}
+        """)
+        assert codes(found) == ["SER001"]
+        assert "process-local" in found[0].message
+
+    def test_bare_rng_reference(self, tmp_path):
+        found = lint(tmp_path, """\
+            class M:
+                def state_dict(self):
+                    return {"rng": self.rng}
+        """)
+        assert codes(found) == ["SER001"]
+        assert "get_rng_state" in found[0].message
+
+    def test_rng_via_update_call(self, tmp_path):
+        found = lint(tmp_path, """\
+            class M:
+                def state_dict(self):
+                    state = {}
+                    state.update({"gen": rng})
+                    return state
+        """)
+        assert codes(found) == ["SER001"]
+
+
+class TestSER001StaysQuiet:
+    def test_plain_arrays_and_scalars(self, tmp_path):
+        assert lint(tmp_path, """\
+            class M:
+                def state_dict(self):
+                    return {
+                        "weights": self.weights.copy(),
+                        "step": int(self.step),
+                        "name": "sgd",
+                        "maybe": None,
+                        "rows": [r.state_dict() for r in self.records],
+                    }
+        """) == []
+
+    def test_rng_captured_through_helper(self, tmp_path):
+        assert lint(tmp_path, """\
+            from repro.utils import get_rng_state
+
+            class M:
+                def state_dict(self):
+                    return {"rng": get_rng_state(self.rng)}
+        """) == []
+
+    def test_super_state_dict_spread(self, tmp_path):
+        assert lint(tmp_path, """\
+            class M(Base):
+                def state_dict(self):
+                    state = super().state_dict()
+                    state["extra"] = self.extra.copy()
+                    return state
+        """) == []
+
+    def test_other_function_names_ignored(self, tmp_path):
+        assert lint(tmp_path, """\
+            class M:
+                def snapshot(self):
+                    return {"factory": lambda: 1, "rng": self.rng}
+        """) == []
+
+    def test_plain_return_expression_not_recursed(self, tmp_path):
+        # `return super().state_dict()` must not be treated as a value.
+        assert lint(tmp_path, """\
+            class M(Base):
+                def state_dict(self):
+                    return super().state_dict()
+        """) == []

@@ -97,3 +97,73 @@ class TestBuffer:
         buffer.add(a)
         buffer.add(b)
         assert buffer.all_noise_scales().shape == (10, 4)
+
+
+class TestBufferStateDict:
+    def test_roundtrip_with_all_optional_fields(self):
+        buffer = MemoryBuffer(50, 5)
+        full = record(0, with_targets=True)
+        buffer.add(full)
+        buffer.add(record(1))
+        restored = MemoryBuffer.from_state_dict(buffer.state_dict())
+        assert restored.total_budget == 50
+        assert restored.n_tasks == 5
+        assert len(restored) == len(buffer)
+        for a, b in zip(restored.records, buffer.records):
+            assert a.task_id == b.task_id
+            np.testing.assert_array_equal(a.samples, b.samples)
+
+    def test_roundtrip_without_optional_fields(self):
+        buffer = MemoryBuffer(50, 5)
+        buffer.add(record(0, with_scales=False))
+        restored = MemoryBuffer.from_state_dict(buffer.state_dict())
+        rec = restored.records[0]
+        assert rec.noise_scales is None
+        assert rec.targets is None
+        with pytest.raises(ValueError):
+            restored.all_noise_scales()
+
+    def test_roundtrip_preserves_targets_and_scales(self):
+        buffer = MemoryBuffer(50, 5)
+        buffer.add(record(0, with_targets=True))
+        restored = MemoryBuffer.from_state_dict(buffer.state_dict())
+        rec, orig = restored.records[0], buffer.records[0]
+        np.testing.assert_array_equal(rec.noise_scales, orig.noise_scales)
+        np.testing.assert_array_equal(rec.targets, orig.targets)
+        np.testing.assert_array_equal(rec.labels, orig.labels)
+
+    def test_state_dict_copies_arrays(self):
+        buffer = MemoryBuffer(50, 5)
+        buffer.add(record(0))
+        state = buffer.state_dict()
+        state["records"][0]["samples"][:] = 99.0
+        np.testing.assert_array_equal(buffer.records[0].samples, 0.0)
+
+    def test_empty_buffer_roundtrip(self):
+        restored = MemoryBuffer.from_state_dict(MemoryBuffer(50, 5).state_dict())
+        assert restored.is_empty
+        assert restored.per_task_quota == 10
+
+    def test_restored_buffer_still_enforces_quota(self):
+        buffer = MemoryBuffer(10, 5)  # quota 2
+        buffer.add(record(0, n=2))
+        restored = MemoryBuffer.from_state_dict(buffer.state_dict())
+        with pytest.raises(ValueError):
+            restored.add(record(1, n=5))
+        with pytest.raises(ValueError):
+            restored.add(record(0, n=2))  # duplicate task survives restore
+
+
+class TestQuotaErrorMessage:
+    def test_mentions_unused_budget_when_split_uneven(self):
+        buffer = MemoryBuffer(11, 5)  # quota 2, 1 unused
+        assert buffer.unused_budget == 1
+        with pytest.raises(ValueError, match=r"leaves 1 samples of quota unused"):
+            buffer.add(record(0, n=3))
+
+    def test_no_hint_when_split_exact(self):
+        buffer = MemoryBuffer(10, 5)
+        assert buffer.unused_budget == 0
+        with pytest.raises(ValueError) as excinfo:
+            buffer.add(record(0, n=3))
+        assert "unused" not in str(excinfo.value)

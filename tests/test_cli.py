@@ -63,3 +63,48 @@ class TestCommands:
     def test_tabular_benchmark_defaults_to_adam(self, capsys):
         assert main(["run", "finetune", "tabular", "--epochs", "1"]) == 0
         assert "Acc =" in capsys.readouterr().out
+
+
+class TestFaultToleranceFlags:
+    def test_run_parses_checkpoint_flags(self):
+        args = build_parser().parse_args([
+            "run", "edsr", "cifar10-like", "--checkpoint-dir", "runs/x",
+            "--resume", "--guardrails", "--lr-backoff", "0.25"])
+        assert args.checkpoint_dir == "runs/x"
+        assert args.resume and args.guardrails
+        assert args.lr_backoff == 0.25
+
+    def test_resume_without_checkpoint_dir_is_an_error(self, capsys):
+        code = main(["run", "finetune", "cifar10-like", "--epochs", "1",
+                     "--resume"])
+        assert code == 2
+        assert "--checkpoint-dir" in capsys.readouterr().err
+
+    def test_run_writes_checkpoints_and_resumes(self, capsys, tmp_path):
+        ckpt = tmp_path / "run"
+        base = ["run", "finetune", "cifar10-like", "--epochs", "1",
+                "--checkpoint-dir", str(ckpt)]
+        assert main(base) == 0
+        manifests = sorted(p.name for p in ckpt.glob("ckpt-*.json"))
+        assert manifests  # one per task
+        assert (ckpt / "events.jsonl").exists()
+        capsys.readouterr()
+        # Resuming a complete run reruns nothing and prints the same result.
+        assert main(base + ["--resume"]) == 0
+        assert "Acc =" in capsys.readouterr().out
+
+    def test_guardrails_run_completes(self, capsys):
+        assert main(["run", "finetune", "cifar10-like", "--epochs", "1",
+                     "--guardrails"]) == 0
+        assert "Acc =" in capsys.readouterr().out
+
+    def test_compare_resume_skips_cached_methods(self, capsys, tmp_path):
+        ckpt = tmp_path / "cmp"
+        base = ["compare", "cifar10-like", "--methods", "finetune",
+                "--epochs", "1", "--checkpoint-dir", str(ckpt)]
+        assert main(base) == 0
+        assert (ckpt / "finetune" / "result.json").exists()
+        capsys.readouterr()
+        assert main(base + ["--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "finetune" in out

@@ -29,6 +29,26 @@ class TestModelRoundtrip:
         with pytest.raises((KeyError, ValueError)):
             load_model(wrong, path)
 
+    def test_path_without_npz_suffix_roundtrips(self, rng, tmp_path):
+        # Regression: np.savez_compressed silently appends ".npz", so loading
+        # the same suffix-less path the caller saved used to raise
+        # FileNotFoundError.
+        model = MLP([4, 8, 2], rng=rng)
+        path = tmp_path / "model"
+        written = save_model(model, path)
+        assert written == tmp_path / "model.npz"
+        fresh = MLP([4, 8, 2], rng=np.random.default_rng(777))
+        load_model(fresh, path)  # same path the caller passed
+        for (name, a), (_n, b) in zip(fresh.named_parameters(),
+                                      model.named_parameters()):
+            np.testing.assert_array_equal(a.data, b.data, err_msg=name)
+
+    def test_dotted_stem_keeps_full_name(self, rng, tmp_path):
+        model = MLP([4, 8, 2], rng=rng)
+        written = save_model(model, tmp_path / "model.v2")
+        assert written.name == "model.v2.npz"
+        load_model(MLP([4, 8, 2], rng=rng), tmp_path / "model.v2")
+
 
 class TestResultRoundtrip:
     def _result(self):
@@ -59,6 +79,56 @@ class TestResultRoundtrip:
         restored = load_result(path)
         assert not restored.complete
         assert restored.acc_at(0) == pytest.approx(0.9)
+
+    def test_partial_result_full_equality(self, tmp_path):
+        # Interrupted runs must round-trip exactly: row count, matrix, name,
+        # and elapsed_seconds (previously inferred by breaking on None rows).
+        r = ContinualResult(4, name="interrupted")
+        r.record_row([0.9])
+        r.record_row([0.85, 0.92])
+        r.elapsed_seconds = 7.25
+        path = tmp_path / "partial.json"
+        save_result(r, path)
+        restored = load_result(path)
+        assert restored.rows_recorded == 2
+        assert restored.n_tasks == 4
+        assert restored.name == "interrupted"
+        assert restored.elapsed_seconds == pytest.approx(7.25)
+        np.testing.assert_allclose(restored.accuracy_matrix, r.accuracy_matrix,
+                                   equal_nan=True)
+
+    def test_empty_result_roundtrip(self, tmp_path):
+        import json
+        r = ContinualResult(3, name="empty")
+        r.elapsed_seconds = 1.5
+        path = tmp_path / "empty.json"
+        save_result(r, path)
+        payload = json.loads(path.read_text())
+        assert payload["rows_recorded"] == 0
+        assert payload["acc"] is None and payload["fgt"] is None
+        restored = load_result(path)
+        assert restored.rows_recorded == 0
+        assert restored.elapsed_seconds == pytest.approx(1.5)
+
+    def test_recorded_row_with_null_is_an_error(self, tmp_path):
+        import json
+        path = tmp_path / "bad.json"
+        save_result(self._result(), path)
+        payload = json.loads(path.read_text())
+        payload["accuracy_matrix"][1][0] = None  # corrupt a recorded row
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="null"):
+            load_result(path)
+
+    def test_legacy_file_without_rows_recorded(self, tmp_path):
+        import json
+        path = tmp_path / "legacy.json"
+        save_result(self._result(), path)
+        payload = json.loads(path.read_text())
+        del payload["rows_recorded"]
+        path.write_text(json.dumps(payload))
+        restored = load_result(path)
+        assert restored.rows_recorded == 3
 
     def test_json_is_plain(self, tmp_path):
         import json
