@@ -8,7 +8,9 @@ mechanical:
 
 1. enumerate the differentiable surface from the source AST —
    every public top-level function in ``repro/tensor/ops.py`` plus every
-   ``Tensor`` method whose body tapes an op via ``Tensor.from_op``;
+   ``Tensor`` method whose body tapes an op, either through the registry
+   dispatch (``engine.apply`` / ``apply_ctx``) or the legacy
+   ``Tensor.from_op`` closure path;
 2. scan the test files under ``tests/tensor/`` for test functions that call
    ``check_gradients`` and record which primitives each exercises (by name
    for ops/methods, by operator token for dunders — ``a * b`` covers
@@ -83,16 +85,29 @@ def differentiable_surface(src_root: Path | str) -> dict[str, str]:
             for item in node.body:
                 if not isinstance(item, ast.FunctionDef) or item.name == "from_op":
                     continue
-                if _calls_from_op(item):
+                if _tapes_an_op(item):
                     surface[item.name] = f"Tensor.{item.name}"
     return surface
 
 
-def _calls_from_op(func: ast.FunctionDef) -> bool:
+_TAPING_CALLS = {"from_op", "apply", "apply_ctx", "_apply"}
+
+
+def _tapes_an_op(func: ast.FunctionDef) -> bool:
+    """Whether the function body dispatches a taped op.
+
+    Matches both the registry choke point (``engine.apply(...)`` — also seen
+    as a bare ``apply``/``_apply`` alias) and the legacy closure path
+    (``Tensor.from_op``).
+    """
     for node in ast.walk(func):
-        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
-            if node.func.attr == "from_op":
-                return True
+        if not isinstance(node, ast.Call):
+            continue
+        target = node.func
+        name = target.attr if isinstance(target, ast.Attribute) else \
+            target.id if isinstance(target, ast.Name) else None
+        if name in _TAPING_CALLS:
+            return True
     return False
 
 

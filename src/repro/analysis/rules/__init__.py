@@ -8,6 +8,8 @@ Codes
 - ``API001`` — ``__all__`` export hygiene (:class:`ExportHygieneRule`)
 - ``SER001`` — non-serializable ``state_dict`` values
   (:class:`StateDictSerializableRule`)
+- ``PERF001`` — per-element loops / dtype promotion in hot modules
+  (:class:`HotLoopDtypeRule`)
 """
 
 from __future__ import annotations
@@ -15,10 +17,12 @@ from __future__ import annotations
 from repro.analysis.rules.api import ExportHygieneRule
 from repro.analysis.rules.autograd import InplaceMutationRule, LateBindingClosureRule
 from repro.analysis.rules.determinism import SeedlessRNGRule
+from repro.analysis.rules.perf import HotLoopDtypeRule
 from repro.analysis.rules.serialization import StateDictSerializableRule
 
 __all__ = [
     "ExportHygieneRule",
+    "HotLoopDtypeRule",
     "InplaceMutationRule",
     "LateBindingClosureRule",
     "SeedlessRNGRule",
@@ -28,7 +32,7 @@ __all__ = [
 ]
 
 _RULE_CLASSES = (SeedlessRNGRule, InplaceMutationRule, LateBindingClosureRule,
-                 ExportHygieneRule, StateDictSerializableRule)
+                 ExportHygieneRule, StateDictSerializableRule, HotLoopDtypeRule)
 
 
 def default_rules():

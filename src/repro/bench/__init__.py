@@ -1,0 +1,30 @@
+"""Microbenchmark harness for the op-registry execution engine.
+
+``python -m repro bench`` runs the suite; see :mod:`repro.bench.suites`
+for what is measured and :mod:`repro.bench.harness` for how.  The committed
+baseline lives in ``BENCH_pr3.json`` at the repo root.
+"""
+
+from repro.bench.harness import BenchTiming, speedup, time_callable
+from repro.bench.suites import (
+    PRE_REFACTOR_REFERENCE,
+    REQUIRED_SPEEDUP,
+    build_ssl_step,
+    format_report,
+    op_microbenches,
+    run_suite,
+    ssl_step_bench,
+)
+
+__all__ = [
+    "PRE_REFACTOR_REFERENCE",
+    "REQUIRED_SPEEDUP",
+    "BenchTiming",
+    "build_ssl_step",
+    "format_report",
+    "op_microbenches",
+    "run_suite",
+    "speedup",
+    "ssl_step_bench",
+    "time_callable",
+]

@@ -1,0 +1,58 @@
+"""Timing harness for the repro microbenchmarks.
+
+Every benchmark in :mod:`repro.bench.suites` funnels through
+:func:`time_callable`: a fixed number of warmup calls (JIT-free Python, but
+the first calls populate allocator pools, branch caches, and the conv
+col-buffer pool), then ``repeats`` timed calls with ``time.perf_counter``.
+We report the **median** as the headline number — on a shared machine the
+minimum is optimistic and the mean is skewed by scheduler noise — and keep
+best/mean alongside for context.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+
+@dataclass(frozen=True)
+class BenchTiming:
+    """Summary statistics for one timed callable."""
+
+    median_s: float
+    best_s: float
+    mean_s: float
+    repeats: int
+
+    def to_dict(self) -> dict:
+        return {"median_s": self.median_s, "best_s": self.best_s,
+                "mean_s": self.mean_s, "repeats": self.repeats}
+
+
+def time_callable(fn: Callable[[], object], *, warmup: int = 5,
+                  repeats: int = 30) -> BenchTiming:
+    """Time ``fn`` after ``warmup`` untimed calls; return summary stats."""
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    for _ in range(warmup):
+        fn()
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    times.sort()
+    return BenchTiming(
+        median_s=times[len(times) // 2],
+        best_s=times[0],
+        mean_s=sum(times) / len(times),
+        repeats=repeats,
+    )
+
+
+def speedup(reference: BenchTiming | dict, candidate: BenchTiming | dict) -> float:
+    """Median-over-median speedup of ``candidate`` relative to ``reference``."""
+    ref = reference.to_dict() if isinstance(reference, BenchTiming) else reference
+    cand = candidate.to_dict() if isinstance(candidate, BenchTiming) else candidate
+    return ref["median_s"] / cand["median_s"]

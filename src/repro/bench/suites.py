@@ -1,0 +1,215 @@
+"""Benchmark suites: fused-vs-unfused op microbenches + the SSL step bench.
+
+Two layers of measurement:
+
+* **Op microbenches** — each fused kernel (linear, linear+ReLU,
+  L2-normalize, cosine rows, normalized MSE, batch norm) timed
+  forward+backward with fusion on and off (:func:`repro.tensor.no_fusion`).
+  These localise *where* a regression lives.
+* **SSL training-step bench** — one full SimCLR-style optimisation step
+  (SimSiam objective, MLP backbone, batch 128, SGD momentum), the unit the
+  ISSUE acceptance bar is written against.  The pre-refactor engine
+  (closure-taped, no fusion, fresh grad buffers every step) measured
+  ``PRE_REFACTOR_REFERENCE`` on this exact configuration; the current
+  engine must stay >= 1.5x faster (see BENCH_pr3.json).
+
+``smoke=True`` shrinks shapes and repeats so the whole suite runs in well
+under a second — that mode exists for the tier-1 test, not for numbers
+worth reading.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench.harness import BenchTiming, speedup, time_callable
+from repro.tensor import Tensor, no_fusion, ops
+
+# Measured on the pre-registry engine (closure-based tape, unfused kernels,
+# per-step grad allocation) with build_ssl_step()'s exact configuration.
+PRE_REFACTOR_REFERENCE = {"median_s": 0.00974, "best_s": 0.00727, "mean_s": 0.01052}
+
+#: Acceptance bar from ISSUE.md: median SSL-step time must beat the
+#: pre-refactor reference by at least this factor.
+REQUIRED_SPEEDUP = 1.5
+
+
+# ----------------------------------------------------------------------
+# Op microbenches
+# ----------------------------------------------------------------------
+def _bench_pair(make_step, *, warmup: int, repeats: int) -> dict:
+    """Time ``make_step()`` with fusion enabled and disabled."""
+    fused = time_callable(make_step, warmup=warmup, repeats=repeats)
+    with no_fusion():
+        unfused = time_callable(make_step, warmup=warmup, repeats=repeats)
+    return {"fused": fused.to_dict(), "unfused": unfused.to_dict(),
+            "speedup": speedup(unfused, fused)}
+
+
+def op_microbenches(*, smoke: bool = False, repeats: int | None = None) -> dict:
+    """Forward+backward timings for every fused kernel, fused vs composed."""
+    n, d = (16, 8) if smoke else (256, 128)
+    warmup = 1 if smoke else 5
+    repeats = repeats or (3 if smoke else 30)
+    rng = np.random.default_rng(0)
+    x_np = rng.normal(size=(n, d)).astype(np.float32)
+    y_np = rng.normal(size=(n, d)).astype(np.float32)
+    w_np = (rng.normal(size=(d, d)) / np.sqrt(d)).astype(np.float32)
+    b_np = np.zeros(d, dtype=np.float32)
+
+    def linear_step():
+        x = Tensor(x_np, requires_grad=True)
+        w = Tensor(w_np, requires_grad=True)
+        b = Tensor(b_np, requires_grad=True)
+        ops.linear(x, w, b).sum().backward()
+
+    def linear_relu_step():
+        x = Tensor(x_np, requires_grad=True)
+        w = Tensor(w_np, requires_grad=True)
+        b = Tensor(b_np, requires_grad=True)
+        ops.linear_relu(x, w, b).sum().backward()
+
+    def l2_normalize_step():
+        x = Tensor(x_np, requires_grad=True)
+        ops.l2_normalize(x, axis=1).sum().backward()
+
+    def cosine_step():
+        a = Tensor(x_np, requires_grad=True)
+        b = Tensor(y_np, requires_grad=True)
+        ops.cosine_similarity(a, b, axis=1).sum().backward()
+
+    def normalized_mse_step():
+        p = Tensor(x_np, requires_grad=True)
+        t = Tensor(y_np)
+        ops.normalized_mse(p, t, axis=1).sum().backward()
+
+    def batch_norm_step():
+        x = Tensor(x_np, requires_grad=True)
+        x_hat, _mean, _var = ops.batch_norm_train(x, (0,), 1e-5)
+        x_hat.sum().backward()
+
+    steps = {
+        "linear": linear_step,
+        "linear_relu": linear_relu_step,
+        "l2_normalize": l2_normalize_step,
+        "cosine_rows": cosine_step,
+        "normalized_mse": normalized_mse_step,
+        "batch_norm": batch_norm_step,
+    }
+    return {name: _bench_pair(fn, warmup=warmup, repeats=repeats)
+            for name, fn in steps.items()}
+
+
+# ----------------------------------------------------------------------
+# SSL training-step bench
+# ----------------------------------------------------------------------
+def build_ssl_step(*, smoke: bool = False, seed: int = 0):
+    """Build the SimSiam+MLP training step the acceptance bar measures.
+
+    Returns ``(step, batches)`` where ``step()`` runs zero_grad -> loss ->
+    backward -> optimizer step on a fixed pair of augmented views.
+    """
+    from repro.optim import SGD
+    from repro.ssl.encoder import Encoder, build_backbone
+    from repro.ssl.simsiam import SimSiam
+
+    batch, input_dim, hidden = (8, 8, 16) if smoke else (128, 32, 64)
+    rng = np.random.default_rng(seed)
+    backbone = build_backbone("mlp", rng, input_dim=input_dim, hidden_dim=hidden)
+    encoder = Encoder(backbone, representation_dim=hidden, rng=rng)
+    objective = SimSiam(encoder, rng=rng)
+    optimizer = SGD(objective.parameters(), lr=0.03, momentum=0.9)
+
+    data_rng = np.random.default_rng(42)
+    x = data_rng.normal(size=(batch, input_dim)).astype(np.float32)
+    v1 = x + data_rng.normal(scale=0.1, size=x.shape).astype(np.float32)
+    v2 = x + data_rng.normal(scale=0.1, size=x.shape).astype(np.float32)
+
+    def step() -> float:
+        optimizer.zero_grad(set_to_none=False)
+        loss = objective.css_loss(v1, v2)
+        loss.backward()
+        optimizer.step()
+        return float(loss.data)
+
+    return step, (v1, v2)
+
+
+def ssl_step_bench(*, smoke: bool = False, repeats: int | None = None) -> dict:
+    """Time the full SSL training step, fused vs unfused engine paths."""
+    warmup = 1 if smoke else 5
+    repeats = repeats or (3 if smoke else 30)
+
+    step, _ = build_ssl_step(smoke=smoke)
+    fused = time_callable(step, warmup=warmup, repeats=repeats)
+
+    step_unfused, _ = build_ssl_step(smoke=smoke)
+    with no_fusion():
+        unfused = time_callable(step_unfused, warmup=warmup, repeats=repeats)
+
+    result = {
+        "config": {"smoke": smoke, "batch": 8 if smoke else 128,
+                   "backbone": "mlp", "objective": "simsiam",
+                   "optimizer": "sgd(lr=0.03, momentum=0.9)",
+                   "repeats": repeats},
+        "fused": fused.to_dict(),
+        "unfused": unfused.to_dict(),
+        "speedup_fused_vs_unfused": speedup(unfused, fused),
+    }
+    if not smoke:
+        # The reference was measured at full shapes; comparing a smoke run
+        # against it would be meaningless.
+        result["pre_refactor_reference"] = dict(PRE_REFACTOR_REFERENCE)
+        result["speedup_vs_pre_refactor"] = speedup(PRE_REFACTOR_REFERENCE, fused)
+        result["required_speedup"] = REQUIRED_SPEEDUP
+    return result
+
+
+def run_suite(*, smoke: bool = False, repeats: int | None = None) -> dict:
+    """Run every bench; return one JSON-serializable report."""
+    return {
+        "suite": "repro-bench-pr3",
+        "mode": "smoke" if smoke else "full",
+        "ops": op_microbenches(smoke=smoke, repeats=repeats),
+        "ssl_step": ssl_step_bench(smoke=smoke, repeats=repeats),
+    }
+
+
+def format_report(report: dict) -> str:
+    """Render a suite report as an aligned plain-text table."""
+    from repro.utils import format_table
+
+    rows = []
+    for name, entry in report["ops"].items():
+        rows.append([name,
+                     f"{entry['fused']['median_s'] * 1e6:.1f}",
+                     f"{entry['unfused']['median_s'] * 1e6:.1f}",
+                     f"{entry['speedup']:.2f}x"])
+    lines = [format_table(["op (fwd+bwd)", "fused us", "unfused us", "speedup"],
+                          rows, title=f"op microbenches ({report['mode']})")]
+    ssl = report["ssl_step"]
+    lines.append("")
+    lines.append(f"SSL step (simsiam/mlp, batch {ssl['config']['batch']}): "
+                 f"fused {ssl['fused']['median_s'] * 1e3:.2f} ms, "
+                 f"unfused {ssl['unfused']['median_s'] * 1e3:.2f} ms "
+                 f"({ssl['speedup_fused_vs_unfused']:.2f}x)")
+    if "speedup_vs_pre_refactor" in ssl:
+        verdict = ("PASS" if ssl["speedup_vs_pre_refactor"] >= ssl["required_speedup"]
+                   else "FAIL")
+        lines.append(f"vs pre-refactor engine "
+                     f"({ssl['pre_refactor_reference']['median_s'] * 1e3:.2f} ms): "
+                     f"{ssl['speedup_vs_pre_refactor']:.2f}x "
+                     f"(required >= {ssl['required_speedup']:.1f}x) [{verdict}]")
+    return "\n".join(lines)
+
+
+__all__ = [
+    "PRE_REFACTOR_REFERENCE",
+    "REQUIRED_SPEEDUP",
+    "BenchTiming",
+    "build_ssl_step",
+    "format_report",
+    "op_microbenches",
+    "run_suite",
+    "ssl_step_bench",
+]

@@ -17,8 +17,11 @@ Commands
 ``list``     show available benchmarks, methods, selection strategies,
              replay losses, and objectives;
 ``lint``     run the repo-specific static analysis (DET001/AD001/AD002/
-             API001) plus the gradcheck-coverage audit; exits non-zero on
-             any violation (see ``repro.analysis``).
+             API001/SER001/PERF001) plus the gradcheck-coverage audit;
+             exits non-zero on any violation (see ``repro.analysis``);
+``bench``    run the op-registry microbenchmarks (fused-vs-unfused kernels
+             and the SSL training-step bench); ``--output`` writes the JSON
+             report, ``--smoke`` runs a sub-second variant for CI.
 """
 
 from __future__ import annotations
@@ -220,6 +223,25 @@ def _command_lint(args: argparse.Namespace) -> int:
     return lint_main(argv)
 
 
+def _command_bench(args: argparse.Namespace) -> int:
+    import json
+    import pathlib
+
+    from repro.bench import REQUIRED_SPEEDUP, format_report, run_suite
+
+    report = run_suite(smoke=args.smoke, repeats=args.repeats)
+    print(format_report(report))
+    if args.output:
+        path = pathlib.Path(args.output)
+        path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+        print(f"\nbench report written to {path}")
+    ssl = report["ssl_step"]
+    if "speedup_vs_pre_refactor" in ssl \
+            and ssl["speedup_vs_pre_refactor"] < REQUIRED_SPEEDUP:
+        return 1
+    return 0
+
+
 def _command_list(_args: argparse.Namespace) -> int:
     print("benchmarks:", ", ".join(sorted(IMAGE_PRESETS)) + ", tabular")
     print("methods:   ", ", ".join(METHODS + ["multitask"]))
@@ -281,6 +303,15 @@ def build_parser() -> argparse.ArgumentParser:
     lint_parser.add_argument("--no-coverage", action="store_true",
                              help="skip the gradcheck-coverage audit")
     lint_parser.set_defaults(handler=_command_lint)
+
+    bench_parser = subparsers.add_parser(
+        "bench", help="op-registry microbenchmarks (fused vs unfused)")
+    bench_parser.add_argument("--output", help="write the JSON report here")
+    bench_parser.add_argument("--smoke", action="store_true",
+                              help="tiny shapes + few repeats (sub-second, for CI)")
+    bench_parser.add_argument("--repeats", type=int,
+                              help="timed repetitions per bench (default 30, smoke 3)")
+    bench_parser.set_defaults(handler=_command_bench)
 
     list_parser = subparsers.add_parser("list", help="show available components")
     list_parser.set_defaults(handler=_command_list)

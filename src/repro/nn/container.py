@@ -2,12 +2,23 @@
 
 from __future__ import annotations
 
+from repro.nn.activation import ReLU
+from repro.nn.linear import Linear
 from repro.nn.module import Module
+from repro.tensor import engine, ops
 from repro.tensor.tensor import Tensor
 
 
 class Sequential(Module):
-    """Chains modules in order; submodules register as ``layer0`` etc."""
+    """Chains modules in order; submodules register as ``layer0`` etc.
+
+    When fusion is enabled, adjacent ``(Linear, ReLU)`` pairs dispatch the
+    fused ``linear_relu`` kernel at call time instead of two separate taped
+    ops.  The fusion is purely a call-time rewrite: the layer list, the
+    parameters, and ``state_dict`` layout are unchanged, and disabling
+    fusion (:func:`repro.tensor.engine.no_fusion`) restores the unfused
+    execution path exactly.
+    """
 
     def __init__(self, *layers: Module):
         super().__init__()
@@ -16,8 +27,19 @@ class Sequential(Module):
             setattr(self, f"layer{i}", layer)
 
     def forward(self, x: Tensor) -> Tensor:
-        for layer in self.layers:
+        layers = self.layers
+        fuse = engine.fusion_enabled()
+        i = 0
+        count = len(layers)
+        while i < count:
+            layer = layers[i]
+            if (fuse and i + 1 < count and type(layer) is Linear
+                    and type(layers[i + 1]) is ReLU and x.ndim == 2):
+                x = ops.linear_relu(x, layer.weight, layer.bias)
+                i += 2
+                continue
             x = layer(x)
+            i += 1
         return x
 
     def __len__(self) -> int:

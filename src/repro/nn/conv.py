@@ -1,10 +1,17 @@
 """2-D convolution via im2col.
 
 The forward pass lowers convolution to a single matmul over unfolded
-patches; the backward pass is written as a custom autograd primitive so the
-col2im scatter runs in vectorized numpy instead of through generic indexing.
-Layout is NCHW throughout, matching the torch convention the paper's models
-assume.
+patches; the whole lowering is one registered autograd op (``conv2d``) so
+the col2im scatter runs in vectorized numpy instead of through generic
+indexing, and the bias add is fused into the same kernel.  Layout is NCHW
+throughout, matching the torch convention the paper's models assume.
+
+The unfolded patch matrix is the dominant allocation of a CNN step, so each
+``Conv2d`` layer keeps a :class:`_ColBufferPool`: forward acquires a col
+buffer from the pool and backward releases it once the weight gradient has
+consumed it (under ``no_grad`` it is released immediately).  Acquire/release
+rather than a single cached slot because SSL methods run two augmented
+forwards before one backward.
 """
 
 from __future__ import annotations
@@ -13,12 +20,40 @@ import numpy as np
 
 from repro.nn import init
 from repro.nn.module import Module, Parameter
+from repro.tensor.engine import Context, Op, apply, is_grad_enabled, register
 from repro.tensor.tensor import Tensor
 from repro.utils.rng import fallback_rng
 
 
-def _im2col(x: np.ndarray, kernel: int, stride: int, padding: int) -> tuple[np.ndarray, int, int]:
-    """Unfold ``x`` (N, C, H, W) into (N, out_h, out_w, C*k*k) patches."""
+class _ColBufferPool:
+    """Reusable buffers for im2col patch matrices, keyed by shape."""
+
+    def __init__(self):
+        self._free: dict[tuple, list[np.ndarray]] = {}
+
+    def acquire(self, shape: tuple[int, ...], dtype) -> np.ndarray:
+        key = (shape, np.dtype(dtype).str)
+        bucket = self._free.get(key)
+        if bucket:
+            return bucket.pop()
+        return np.empty(shape, dtype=dtype)
+
+    def release(self, buf: np.ndarray) -> None:
+        key = (buf.shape, buf.dtype.str)
+        self._free.setdefault(key, []).append(buf)
+
+    def __deepcopy__(self, memo):
+        # Pooled scratch is not model state; clones start with a fresh pool.
+        return _ColBufferPool()
+
+
+def _im2col(x: np.ndarray, kernel: int, stride: int, padding: int,
+            pool: _ColBufferPool | None = None) -> tuple[np.ndarray, int, int]:
+    """Unfold ``x`` (N, C, H, W) into (N, out_h, out_w, C*k*k) patches.
+
+    When a ``pool`` is given the destination array comes from it and must be
+    released by the caller once backward no longer needs it.
+    """
     n, c, h, w = x.shape
     if padding:
         x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
@@ -32,9 +67,12 @@ def _im2col(x: np.ndarray, kernel: int, stride: int, padding: int) -> tuple[np.n
         strides=(strides[0], strides[1], strides[2] * stride, strides[3] * stride, strides[2], strides[3]),
         writeable=False,
     )
-    # (N, out_h, out_w, C, k, k) -> (N, out_h, out_w, C*k*k)
-    cols = view.transpose(0, 2, 3, 1, 4, 5).reshape(n, out_h, out_w, c * kernel * kernel)
-    return np.ascontiguousarray(cols), out_h, out_w
+    col_shape = (n, out_h, out_w, c, kernel, kernel)
+    cols = pool.acquire(col_shape, x.dtype) if pool is not None else np.empty(col_shape, dtype=x.dtype)
+    # (N, C, out_h, out_w, k, k) -> (N, out_h, out_w, C, k, k), materialized
+    # into the pooled buffer.
+    np.copyto(cols, view.transpose(0, 2, 3, 1, 4, 5))
+    return cols.reshape(n, out_h, out_w, c * kernel * kernel), out_h, out_w
 
 
 def _col2im(cols: np.ndarray, x_shape: tuple[int, int, int, int], kernel: int,
@@ -45,6 +83,8 @@ def _col2im(cols: np.ndarray, x_shape: tuple[int, int, int, int], kernel: int,
     out_w = (w + 2 * padding - kernel) // stride + 1
     padded = np.zeros((n, c, h + 2 * padding, w + 2 * padding), dtype=cols.dtype)
     cols = cols.reshape(n, out_h, out_w, c, kernel, kernel).transpose(0, 3, 1, 2, 4, 5)
+    # k*k iterations over kernel offsets, not over array elements: each
+    # slice assignment below is a full vectorized scatter.
     for ki in range(kernel):
         i_max = ki + stride * out_h
         for kj in range(kernel):
@@ -53,6 +93,59 @@ def _col2im(cols: np.ndarray, x_shape: tuple[int, int, int, int], kernel: int,
     if padding:
         return padded[:, :, padding:-padding, padding:-padding]
     return padded
+
+
+@register
+class Conv2dOp(Op):
+    """im2col convolution with fused bias and pooled col buffers.
+
+    Inputs: ``x`` (N, C_in, H, W), ``weight`` (C_in*k*k, C_out) and an
+    optional trailing ``bias`` (C_out,).  Params carry the geometry and the
+    layer's buffer pool.
+    """
+
+    name = "conv2d"
+
+    @staticmethod
+    def forward(ctx: Context, x, w, *bias, kernel: int, stride: int,
+                padding: int, pool: _ColBufferPool):
+        n = x.shape[0]
+        cols, out_h, out_w = _im2col(x, kernel, stride, padding, pool)
+        flat = cols.reshape(-1, cols.shape[-1])            # (N*oh*ow, Cin*k*k)
+        out_flat = flat @ w                                # (N*oh*ow, Cout)
+        if bias:
+            out_flat += bias[0]
+        out = out_flat.reshape(n, out_h, out_w, w.shape[1]).transpose(0, 3, 1, 2)
+        if any(ctx.needs_input_grad):
+            ctx.save(flat, w)
+            ctx.geometry = (x.shape, kernel, stride, padding, out_h, out_w)
+            ctx.pool = pool
+            ctx.cols = cols
+        else:
+            pool.release(cols.reshape(n, out_h, out_w, -1, kernel, kernel))
+        return np.ascontiguousarray(out)
+
+    @staticmethod
+    def backward(ctx: Context, grad):
+        flat, w = ctx.saved
+        x_shape, kernel, stride, padding, out_h, out_w = ctx.geometry
+        n = x_shape[0]
+        c_out = w.shape[1]
+        g_flat = grad.transpose(0, 2, 3, 1).reshape(-1, c_out)
+        gx = gw = None
+        if ctx.needs_input_grad[0]:
+            cols_grad = g_flat @ w.T
+            gx = _col2im(cols_grad.reshape(n, out_h, out_w, -1), x_shape,
+                         kernel, stride, padding)
+        if ctx.needs_input_grad[1]:
+            gw = flat.T @ g_flat
+        # The col buffer is only needed for the weight gradient; backward
+        # runs exactly once per node, so this is the release point.
+        ctx.pool.release(ctx.cols.reshape(n, out_h, out_w, -1, kernel, kernel))
+        ctx.cols = None
+        if len(ctx.needs_input_grad) > 2 and ctx.needs_input_grad[2]:
+            return gx, gw, g_flat.sum(axis=0)
+        return (gx, gw) + (None,) * (len(ctx.needs_input_grad) - 2)
 
 
 class Conv2d(Module):
@@ -76,34 +169,16 @@ class Conv2d(Module):
             self.bias = Parameter(rng.uniform(-bound, bound, size=(out_channels,)).astype(np.float32))
         else:
             self.bias = None
+        self._col_pool = _ColBufferPool()
 
     def forward(self, x: Tensor) -> Tensor:
         if x.ndim != 4:
             raise ValueError(f"Conv2d expects NCHW input, got shape {x.shape}")
-        n = x.shape[0]
-        x_shape = x.shape
-        k, s, p = self.kernel_size, self.stride, self.padding
-        cols, out_h, out_w = _im2col(x.data, k, s, p)
-        flat = cols.reshape(-1, cols.shape[-1])            # (N*oh*ow, Cin*k*k)
-        out_flat = flat @ self.weight.data                 # (N*oh*ow, Cout)
-        out = out_flat.reshape(n, out_h, out_w, self.out_channels).transpose(0, 3, 1, 2)
-
-        weight = self.weight
-
-        def grad_x(g: np.ndarray) -> np.ndarray:
-            g_flat = g.transpose(0, 2, 3, 1).reshape(-1, self.out_channels)
-            cols_grad = g_flat @ weight.data.T
-            return _col2im(cols_grad.reshape(n, out_h, out_w, -1), x_shape, k, s, p)
-
-        def grad_w(g: np.ndarray) -> np.ndarray:
-            g_flat = g.transpose(0, 2, 3, 1).reshape(-1, self.out_channels)
-            return flat.T @ g_flat
-
-        parents = [(x, grad_x), (weight, grad_w)]
-        result = Tensor.from_op(out, parents, op="conv2d")
+        params = dict(kernel=self.kernel_size, stride=self.stride,
+                      padding=self.padding, pool=self._col_pool)
         if self.bias is not None:
-            result = result + self.bias.reshape(1, self.out_channels, 1, 1)
-        return result
+            return apply("conv2d", x, self.weight, self.bias, **params)
+        return apply("conv2d", x, self.weight, **params)
 
     def __repr__(self) -> str:
         return (f"Conv2d({self.in_channels}, {self.out_channels}, k={self.kernel_size}, "

@@ -6,6 +6,7 @@ import numpy as np
 
 from repro.nn import init
 from repro.nn.module import Module, Parameter
+from repro.tensor import ops
 from repro.tensor.tensor import Tensor
 from repro.utils.rng import fallback_rng
 
@@ -39,10 +40,7 @@ class Linear(Module):
             self.bias = None
 
     def forward(self, x: Tensor) -> Tensor:
-        out = x @ self.weight
-        if self.bias is not None:
-            out = out + self.bias
-        return out
+        return ops.linear(x, self.weight, self.bias)
 
     def __repr__(self) -> str:
         return f"Linear({self.in_features}, {self.out_features}, bias={self.bias is not None})"

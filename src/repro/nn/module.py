@@ -94,9 +94,15 @@ class Module:
     def eval(self) -> "Module":
         return self.train(False)
 
-    def zero_grad(self) -> None:
+    def zero_grad(self, set_to_none: bool = True) -> None:
+        """Clear parameter gradients.
+
+        ``set_to_none=False`` zero-fills each existing ``.grad`` buffer in
+        place instead of dropping it, so backward accumulates into the same
+        arrays every step (no per-step gradient allocation).
+        """
         for p in self.parameters():
-            p.grad = None
+            p.zero_grad(set_to_none=set_to_none)
 
     # ------------------------------------------------------------------
     # State

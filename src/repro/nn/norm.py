@@ -29,20 +29,21 @@ class _BatchNorm(Module):
 
     def _normalize(self, x: Tensor, axes: tuple[int, ...], shape: tuple[int, ...]) -> Tensor:
         if self.training:
-            mean = x.mean(axis=axes, keepdims=True)
-            var = x.var(axis=axes, keepdims=True)
+            # Fused batch-norm kernel (one tape node); the batch statistics
+            # come back as plain arrays for the running-average update.
+            x_hat, mean, var = ops.batch_norm_train(x, axes, self.eps)
             m = self.momentum
             self._set_buffer("running_mean",
-                             ((1 - m) * self.running_mean + m * mean.data.reshape(-1)).astype(np.float32))
+                             ((1 - m) * self.running_mean + m * mean.reshape(-1)).astype(np.float32))
             # unbiased variance for the running estimate, as torch does
             count = int(np.prod([x.shape[a] for a in axes]))
             unbias = count / max(count - 1, 1)
             self._set_buffer("running_var",
-                             ((1 - m) * self.running_var + m * unbias * var.data.reshape(-1)).astype(np.float32))
+                             ((1 - m) * self.running_var + m * unbias * var.reshape(-1)).astype(np.float32))
         else:
             mean = Tensor(self.running_mean.reshape(shape))
             var = Tensor(self.running_var.reshape(shape))
-        x_hat = (x - mean) / ops.sqrt(var + self.eps)
+            x_hat = (x - mean) / ops.sqrt(var + self.eps)
         return x_hat * self.weight.reshape(*shape) + self.bias.reshape(*shape)
 
 

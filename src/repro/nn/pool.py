@@ -5,7 +5,57 @@ from __future__ import annotations
 import numpy as np
 
 from repro.nn.module import Module
+from repro.tensor.engine import Context, Op, apply, register
 from repro.tensor.tensor import Tensor
+
+
+@register
+class MaxPool2dOp(Op):
+    """Non-overlapping max pooling (kernel == stride)."""
+
+    name = "maxpool2d"
+
+    @staticmethod
+    def forward(ctx: Context, x, *, kernel: int):
+        n, c, h, w = x.shape
+        oh, ow = h // kernel, w // kernel
+        windows = x.reshape(n, c, oh, kernel, ow, kernel)
+        out = windows.max(axis=(3, 5))
+        # argmax mask for backward (ties split the gradient as in Tensor.max)
+        expanded = out[:, :, :, None, :, None]
+        mask = (windows == expanded).astype(x.dtype)
+        mask /= mask.sum(axis=(3, 5), keepdims=True)
+        ctx.mask = mask
+        ctx.shape = (n, c, h, w)
+        return out
+
+    @staticmethod
+    def backward(ctx: Context, grad):
+        g_exp = grad[:, :, :, None, :, None] * ctx.mask
+        return (g_exp.reshape(ctx.shape),)
+
+
+@register
+class AvgPool2dOp(Op):
+    """Non-overlapping average pooling."""
+
+    name = "avgpool2d"
+
+    @staticmethod
+    def forward(ctx: Context, x, *, kernel: int):
+        n, c, h, w = x.shape
+        oh, ow = h // kernel, w // kernel
+        ctx.geometry = (n, c, oh, kernel, ow)
+        ctx.shape = (n, c, h, w)
+        return x.reshape(n, c, oh, kernel, ow, kernel).mean(axis=(3, 5))
+
+    @staticmethod
+    def backward(ctx: Context, grad):
+        n, c, oh, kernel, ow = ctx.geometry
+        scale = 1.0 / (kernel * kernel)
+        g_exp = np.broadcast_to(grad[:, :, :, None, :, None] * scale,
+                                (n, c, oh, kernel, ow, kernel))
+        return (g_exp.reshape(ctx.shape),)
 
 
 class MaxPool2d(Module):
@@ -20,19 +70,7 @@ class MaxPool2d(Module):
         n, c, h, w = x.shape
         if h % k or w % k:
             raise ValueError(f"MaxPool2d({k}) needs H, W divisible by {k}, got {(h, w)}")
-        oh, ow = h // k, w // k
-        windows = x.data.reshape(n, c, oh, k, ow, k)
-        out = windows.max(axis=(3, 5))
-        # argmax mask for backward (ties split the gradient as in Tensor.max)
-        expanded = out[:, :, :, None, :, None]
-        mask = (windows == expanded).astype(x.data.dtype)
-        mask /= mask.sum(axis=(3, 5), keepdims=True)
-
-        def grad_fn(g: np.ndarray) -> np.ndarray:
-            g_exp = g[:, :, :, None, :, None] * mask
-            return g_exp.reshape(n, c, h, w)
-
-        return Tensor.from_op(out, [(x, grad_fn)], op="maxpool2d")
+        return apply("maxpool2d", x, kernel=k)
 
 
 class AvgPool2d(Module):
@@ -47,15 +85,7 @@ class AvgPool2d(Module):
         n, c, h, w = x.shape
         if h % k or w % k:
             raise ValueError(f"AvgPool2d({k}) needs H, W divisible by {k}, got {(h, w)}")
-        oh, ow = h // k, w // k
-        out = x.data.reshape(n, c, oh, k, ow, k).mean(axis=(3, 5))
-        scale = 1.0 / (k * k)
-
-        def grad_fn(g: np.ndarray) -> np.ndarray:
-            g_exp = np.broadcast_to(g[:, :, :, None, :, None] * scale, (n, c, oh, k, ow, k))
-            return g_exp.reshape(n, c, h, w)
-
-        return Tensor.from_op(out, [(x, grad_fn)], op="avgpool2d")
+        return apply("avgpool2d", x, kernel=k)
 
 
 class GlobalAvgPool2d(Module):

@@ -30,9 +30,19 @@ class Optimizer:
         self.lr = float(lr)
         self._state: dict[int, dict] = {}
 
-    def zero_grad(self) -> None:
+    def zero_grad(self, set_to_none: bool = True) -> None:
+        """Clear gradients before the next backward.
+
+        ``set_to_none=False`` zero-fills each existing ``.grad`` array in
+        place instead of dropping it, so the engine accumulates the next
+        backward into the same buffers (no per-step gradient allocation).
+        Note :meth:`step` then updates every parameter that has ever
+        received a gradient — with sparse gradients and momentum/weight
+        decay this is not equivalent to skipping grad-less parameters,
+        which is why ``set_to_none=True`` stays the default.
+        """
         for p in self.parameters:
-            p.grad = None
+            p.zero_grad(set_to_none=set_to_none)
 
     def step(self) -> None:
         for p in self.parameters:

@@ -26,12 +26,11 @@ class BarlowTwins(CSSLObjective):
 
     def _cross_correlation(self, z1: Tensor, z2: Tensor) -> Tensor:
         """C_ab = <z1[:,a], z2[:,b]> / (||z1[:,a]|| ||z2[:,b]||), Eq. 4."""
-        # Center each dimension over the batch, then column-normalize.
+        # Center each dimension over the batch, then column-normalize via
+        # the fused l2-normalize kernel (column axis, Eq. 4's eps).
         z1c = z1 - z1.mean(axis=0, keepdims=True)
         z2c = z2 - z2.mean(axis=0, keepdims=True)
-        n1 = ops.sqrt((z1c * z1c).sum(axis=0, keepdims=True) + 1e-8)
-        n2 = ops.sqrt((z2c * z2c).sum(axis=0, keepdims=True) + 1e-8)
-        return (z1c / n1).T @ (z2c / n2)
+        return ops.l2_normalize(z1c, axis=0, eps=1e-8).T @ ops.l2_normalize(z2c, axis=0, eps=1e-8)
 
     def _barlow_loss(self, z1: Tensor, z2: Tensor) -> Tensor:
         c = self._cross_correlation(z1, z2)

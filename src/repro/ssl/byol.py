@@ -69,10 +69,8 @@ class BYOL(CSSLObjective):
 
     @staticmethod
     def _normalized_mse(prediction: Tensor, target: np.ndarray) -> Tensor:
-        p = ops.l2_normalize(prediction, axis=1)
-        t = ops.l2_normalize(Tensor(target), axis=1)
-        diff = p - t
-        return (diff * diff).sum(axis=1).mean()
+        # Fused normalize-both + squared-distance kernel (one tape node).
+        return ops.normalized_mse(prediction, Tensor(target), axis=1).mean()
 
     def css_loss(self, x1: np.ndarray, x2: np.ndarray) -> Tensor:
         self.momentum_update()

@@ -21,6 +21,18 @@ Design notes
 """
 
 from repro.tensor.anomaly import AnomalyError, detect_anomaly, is_anomaly_enabled
+from repro.tensor.engine import (
+    Context,
+    Op,
+    apply,
+    apply_ctx,
+    fusion_enabled,
+    get_op,
+    no_fusion,
+    register,
+    registered_ops,
+    set_fusion,
+)
 from repro.tensor.tensor import Tensor, no_grad, is_grad_enabled, tensor
 from repro.tensor import ops
 from repro.tensor.ops import (
@@ -46,6 +58,16 @@ __all__ = [
     "tensor",
     "no_grad",
     "is_grad_enabled",
+    "Context",
+    "Op",
+    "apply",
+    "apply_ctx",
+    "fusion_enabled",
+    "get_op",
+    "no_fusion",
+    "register",
+    "registered_ops",
+    "set_fusion",
     "ops",
     "concatenate",
     "stack",

@@ -1,0 +1,679 @@
+"""Registered :class:`~repro.tensor.engine.Op` classes for every primitive.
+
+Part one is the core surface that used to live as per-call closures in
+``tensor.py``/``ops.py`` (arithmetic, shape, reductions, activations); part
+two is the fused kernels (linear+bias[+relu], l2-normalize, row-wise cosine,
+normalized MSE, batch-norm) whose backward passes compute all input
+gradients from shared intermediates in a single call.  Each fused op has an
+exact unfused reference composition — the parity property tests in
+``tests/tensor/test_fusion_parity.py`` pin forward and gradients of the two
+paths against each other.
+
+All ops save what backward needs eagerly via ``ctx.save(...)`` and consult
+``ctx.needs_input_grad`` to skip gradients nobody will consume.  ``None``
+marks a skipped input gradient.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tensor.engine import Context, Op, register
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Reduce ``grad`` so it matches ``shape`` after numpy broadcasting."""
+    if grad.shape == shape:
+        return grad
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    axes = tuple(i for i, dim in enumerate(shape) if dim == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+# ----------------------------------------------------------------------
+# Arithmetic
+# ----------------------------------------------------------------------
+@register
+class AddOp(Op):
+    name = "add"
+
+    @staticmethod
+    def forward(ctx: Context, a, b):
+        ctx.shapes = (a.shape, b.shape)
+        return a + b
+
+    @staticmethod
+    def backward(ctx: Context, grad):
+        sa, sb = ctx.shapes
+        ga = _unbroadcast(grad, sa) if ctx.needs_input_grad[0] else None
+        gb = _unbroadcast(grad, sb) if ctx.needs_input_grad[1] else None
+        return ga, gb
+
+
+@register
+class NegOp(Op):
+    name = "neg"
+
+    @staticmethod
+    def forward(ctx: Context, a):
+        return -a
+
+    @staticmethod
+    def backward(ctx: Context, grad):
+        return (-grad,)
+
+
+@register
+class SubOp(Op):
+    name = "sub"
+
+    @staticmethod
+    def forward(ctx: Context, a, b):
+        ctx.shapes = (a.shape, b.shape)
+        return a - b
+
+    @staticmethod
+    def backward(ctx: Context, grad):
+        sa, sb = ctx.shapes
+        ga = _unbroadcast(grad, sa) if ctx.needs_input_grad[0] else None
+        gb = _unbroadcast(-grad, sb) if ctx.needs_input_grad[1] else None
+        return ga, gb
+
+
+@register
+class MulOp(Op):
+    name = "mul"
+
+    @staticmethod
+    def forward(ctx: Context, a, b):
+        ctx.save(a, b)
+        return a * b
+
+    @staticmethod
+    def backward(ctx: Context, grad):
+        a, b = ctx.saved
+        ga = _unbroadcast(grad * b, a.shape) if ctx.needs_input_grad[0] else None
+        gb = _unbroadcast(grad * a, b.shape) if ctx.needs_input_grad[1] else None
+        return ga, gb
+
+
+@register
+class DivOp(Op):
+    name = "div"
+
+    @staticmethod
+    def forward(ctx: Context, a, b):
+        ctx.save(a, b)
+        return a / b
+
+    @staticmethod
+    def backward(ctx: Context, grad):
+        a, b = ctx.saved
+        ga = _unbroadcast(grad / b, a.shape) if ctx.needs_input_grad[0] else None
+        gb = (_unbroadcast(-grad * a / (b ** 2), b.shape)
+              if ctx.needs_input_grad[1] else None)
+        return ga, gb
+
+
+@register
+class PowOp(Op):
+    name = "pow"
+
+    @staticmethod
+    def forward(ctx: Context, a, *, exponent: float):
+        ctx.save(a)
+        ctx.exponent = exponent
+        return a ** exponent
+
+    @staticmethod
+    def backward(ctx: Context, grad):
+        (a,) = ctx.saved
+        e = ctx.exponent
+        return (grad * e * a ** (e - 1),)
+
+
+@register
+class MatMulOp(Op):
+    name = "matmul"
+
+    @staticmethod
+    def forward(ctx: Context, a, b):
+        ctx.save(a, b)
+        return a @ b
+
+    @staticmethod
+    def backward(ctx: Context, grad):
+        a, b = ctx.saved
+        ga = gb = None
+        if ctx.needs_input_grad[0]:
+            if b.ndim == 1:
+                ga = np.outer(grad, b) if a.ndim == 2 else grad * b
+            else:
+                ga = _unbroadcast(grad @ np.swapaxes(b, -1, -2), a.shape)
+        if ctx.needs_input_grad[1]:
+            if a.ndim == 1:
+                gb = np.outer(a, grad) if b.ndim == 2 else grad * a
+            else:
+                gb = _unbroadcast(np.swapaxes(a, -1, -2) @ grad, b.shape)
+        return ga, gb
+
+
+# ----------------------------------------------------------------------
+# Shape manipulation
+# ----------------------------------------------------------------------
+@register
+class ReshapeOp(Op):
+    name = "reshape"
+
+    @staticmethod
+    def forward(ctx: Context, a, *, shape):
+        ctx.original = a.shape
+        return a.reshape(shape)
+
+    @staticmethod
+    def backward(ctx: Context, grad):
+        return (grad.reshape(ctx.original),)
+
+
+@register
+class TransposeOp(Op):
+    name = "transpose"
+
+    @staticmethod
+    def forward(ctx: Context, a, *, axes):
+        ctx.inverse = np.argsort(axes)
+        return a.transpose(axes)
+
+    @staticmethod
+    def backward(ctx: Context, grad):
+        return (grad.transpose(ctx.inverse),)
+
+
+@register
+class GetItemOp(Op):
+    name = "getitem"
+
+    @staticmethod
+    def forward(ctx: Context, a, *, index):
+        ctx.index = index
+        ctx.shape = a.shape
+        ctx.dtype = a.dtype
+        return np.asarray(a[index])
+
+    @staticmethod
+    def backward(ctx: Context, grad):
+        full = np.zeros(ctx.shape, dtype=ctx.dtype)
+        np.add.at(full, ctx.index, grad)
+        return (full,)
+
+
+@register
+class ConcatOp(Op):
+    name = "concat"
+
+    @staticmethod
+    def forward(ctx: Context, *arrays, axis: int = 0):
+        ctx.axis = axis
+        ctx.offsets = np.cumsum([0] + [a.shape[axis] for a in arrays])
+        return np.concatenate(arrays, axis=axis)
+
+    @staticmethod
+    def backward(ctx: Context, grad):
+        axis, offsets = ctx.axis, ctx.offsets
+        slicer = [slice(None)] * grad.ndim
+        grads = []
+        for i in range(len(offsets) - 1):
+            slicer[axis] = slice(offsets[i], offsets[i + 1])
+            grads.append(grad[tuple(slicer)])
+        return tuple(grads)
+
+
+@register
+class StackOp(Op):
+    name = "stack"
+
+    @staticmethod
+    def forward(ctx: Context, *arrays, axis: int = 0):
+        ctx.axis = axis
+        ctx.count = len(arrays)
+        return np.stack(arrays, axis=axis)
+
+    @staticmethod
+    def backward(ctx: Context, grad):
+        return tuple(np.take(grad, i, axis=ctx.axis) for i in range(ctx.count))
+
+
+# ----------------------------------------------------------------------
+# Reductions
+# ----------------------------------------------------------------------
+@register
+class SumOp(Op):
+    name = "sum"
+
+    @staticmethod
+    def forward(ctx: Context, a, *, axis=None, keepdims: bool = False):
+        ctx.shape = a.shape
+        ctx.axis = axis
+        ctx.keepdims = keepdims
+        return np.asarray(a.sum(axis=axis, keepdims=keepdims))
+
+    @staticmethod
+    def backward(ctx: Context, grad):
+        if ctx.axis is None:
+            return (np.broadcast_to(grad, ctx.shape),)
+        expanded = grad if ctx.keepdims else np.expand_dims(grad, ctx.axis)
+        return (np.broadcast_to(expanded, ctx.shape),)
+
+
+@register
+class MaxOp(Op):
+    name = "max"
+
+    @staticmethod
+    def forward(ctx: Context, a, *, axis=None, keepdims: bool = False):
+        out = np.asarray(a.max(axis=axis, keepdims=keepdims))
+        ctx.save(a, out)
+        ctx.axis = axis
+        ctx.keepdims = keepdims
+        return out
+
+    @staticmethod
+    def backward(ctx: Context, grad):
+        a, out = ctx.saved
+        axis, keepdims = ctx.axis, ctx.keepdims
+        if axis is None:
+            mask = (a == out).astype(grad.dtype)
+            mask /= mask.sum()
+            return (mask * grad,)
+        expanded = out if keepdims else np.expand_dims(out, axis)
+        mask = (a == expanded).astype(grad.dtype)
+        mask /= mask.sum(axis=axis, keepdims=True)
+        g_expanded = grad if keepdims else np.expand_dims(grad, axis)
+        return (mask * g_expanded,)
+
+
+@register
+class AbsOp(Op):
+    name = "abs"
+
+    @staticmethod
+    def forward(ctx: Context, a):
+        ctx.save(a)
+        return np.abs(a)
+
+    @staticmethod
+    def backward(ctx: Context, grad):
+        (a,) = ctx.saved
+        return (grad * np.sign(a),)
+
+
+@register
+class TraceOp(Op):
+    name = "trace"
+
+    @staticmethod
+    def forward(ctx: Context, a):
+        ctx.shape = a.shape
+        ctx.dtype = a.dtype
+        return np.asarray(np.trace(a), dtype=a.dtype)
+
+    @staticmethod
+    def backward(ctx: Context, grad):
+        n, m = ctx.shape
+        return (np.eye(n, m, dtype=ctx.dtype) * grad,)
+
+
+# ----------------------------------------------------------------------
+# Pointwise nonlinearities
+# ----------------------------------------------------------------------
+@register
+class ExpOp(Op):
+    name = "exp"
+
+    @staticmethod
+    def forward(ctx: Context, a):
+        out = np.exp(a)
+        ctx.save(out)
+        return out
+
+    @staticmethod
+    def backward(ctx: Context, grad):
+        (out,) = ctx.saved
+        return (grad * out,)
+
+
+@register
+class LogOp(Op):
+    name = "log"
+
+    @staticmethod
+    def forward(ctx: Context, a):
+        ctx.save(a)
+        return np.log(a)
+
+    @staticmethod
+    def backward(ctx: Context, grad):
+        (a,) = ctx.saved
+        return (grad / a,)
+
+
+@register
+class SqrtOp(Op):
+    name = "sqrt"
+
+    @staticmethod
+    def forward(ctx: Context, a):
+        out = np.sqrt(a)
+        ctx.save(out)
+        return out
+
+    @staticmethod
+    def backward(ctx: Context, grad):
+        (out,) = ctx.saved
+        return (grad * 0.5 / out,)
+
+
+@register
+class TanhOp(Op):
+    name = "tanh"
+
+    @staticmethod
+    def forward(ctx: Context, a):
+        out = np.tanh(a)
+        ctx.save(out)
+        return out
+
+    @staticmethod
+    def backward(ctx: Context, grad):
+        (out,) = ctx.saved
+        return (grad * (1.0 - out * out),)
+
+
+@register
+class SigmoidOp(Op):
+    name = "sigmoid"
+
+    @staticmethod
+    def forward(ctx: Context, a):
+        out = 1.0 / (1.0 + np.exp(-a))
+        ctx.save(out)
+        return out
+
+    @staticmethod
+    def backward(ctx: Context, grad):
+        (out,) = ctx.saved
+        return (grad * out * (1.0 - out),)
+
+
+@register
+class ReluOp(Op):
+    name = "relu"
+
+    @staticmethod
+    def forward(ctx: Context, a):
+        ctx.mask = a > 0
+        return np.maximum(a, 0.0)
+
+    @staticmethod
+    def backward(ctx: Context, grad):
+        return (grad * ctx.mask,)
+
+
+@register
+class LeakyReluOp(Op):
+    name = "leaky_relu"
+
+    @staticmethod
+    def forward(ctx: Context, a, *, negative_slope: float = 0.01):
+        ctx.slope = np.where(a > 0, 1.0, negative_slope).astype(a.dtype)
+        return np.where(a > 0, a, negative_slope * a)
+
+    @staticmethod
+    def backward(ctx: Context, grad):
+        return (grad * ctx.slope,)
+
+
+@register
+class MaximumOp(Op):
+    name = "maximum"
+
+    @staticmethod
+    def forward(ctx: Context, a, b):
+        ctx.a_wins = (a >= b).astype(a.dtype)
+        ctx.shapes = (a.shape, b.shape)
+        return np.maximum(a, b)
+
+    @staticmethod
+    def backward(ctx: Context, grad):
+        sa, sb = ctx.shapes
+        ga = (_unbroadcast(grad * ctx.a_wins, sa)
+              if ctx.needs_input_grad[0] else None)
+        gb = (_unbroadcast(grad * (1.0 - ctx.a_wins), sb)
+              if ctx.needs_input_grad[1] else None)
+        return ga, gb
+
+
+@register
+class WhereOp(Op):
+    name = "where"
+
+    @staticmethod
+    def forward(ctx: Context, a, b, *, condition):
+        ctx.condition = np.asarray(condition)
+        ctx.shapes = (a.shape, b.shape)
+        return np.where(ctx.condition, a, b)
+
+    @staticmethod
+    def backward(ctx: Context, grad):
+        cond = ctx.condition
+        sa, sb = ctx.shapes
+        ga = (_unbroadcast(np.where(cond, grad, 0.0), sa)
+              if ctx.needs_input_grad[0] else None)
+        gb = (_unbroadcast(np.where(cond, 0.0, grad), sb)
+              if ctx.needs_input_grad[1] else None)
+        return ga, gb
+
+
+# ----------------------------------------------------------------------
+# Fused kernels
+# ----------------------------------------------------------------------
+@register
+class LinearOp(Op):
+    """Fused ``x @ w + b`` for 2-D activations (one kernel, one tape node).
+
+    Reference composition: ``matmul`` then broadcast ``add``.
+    """
+
+    name = "linear"
+
+    @staticmethod
+    def forward(ctx: Context, x, w, *bias):
+        ctx.save(x, w)
+        out = x @ w
+        if bias:
+            out += bias[0]
+        return out
+
+    @staticmethod
+    def backward(ctx: Context, grad):
+        x, w = ctx.saved
+        gx = grad @ w.T if ctx.needs_input_grad[0] else None
+        gw = x.T @ grad if ctx.needs_input_grad[1] else None
+        if len(ctx.needs_input_grad) > 2 and ctx.needs_input_grad[2]:
+            return gx, gw, grad.sum(axis=0)
+        return (gx, gw) + (None,) * (len(ctx.needs_input_grad) - 2)
+
+
+@register
+class LinearReluOp(Op):
+    """Fused ``relu(x @ w + b)`` — the MLP/projector hidden-layer kernel.
+
+    Reference composition: ``matmul`` + ``add`` + ``relu``.  The pre-ReLU
+    activation never materializes on the tape; only its sign mask survives
+    to backward.
+    """
+
+    name = "linear_relu"
+
+    @staticmethod
+    def forward(ctx: Context, x, w, *bias):
+        y = x @ w
+        if bias:
+            y += bias[0]
+        mask = y > 0
+        ctx.save(x, w, mask)
+        return np.maximum(y, 0.0, out=y)
+
+    @staticmethod
+    def backward(ctx: Context, grad):
+        x, w, mask = ctx.saved
+        gy = grad * mask
+        gx = gy @ w.T if ctx.needs_input_grad[0] else None
+        gw = x.T @ gy if ctx.needs_input_grad[1] else None
+        if len(ctx.needs_input_grad) > 2 and ctx.needs_input_grad[2]:
+            return gx, gw, gy.sum(axis=0)
+        return (gx, gw) + (None,) * (len(ctx.needs_input_grad) - 2)
+
+
+@register
+class L2NormalizeOp(Op):
+    """Fused ``x / sqrt(sum(x*x, axis) + eps)``.
+
+    Reference composition: ``mul`` + ``sum`` + ``add`` + ``sqrt`` + ``div``
+    (5 tape nodes).  Backward uses the closed form
+    ``dx = (g - out * sum(g * out, axis)) / norm``, exact including eps
+    because ``out * norm == x`` identically.
+    """
+
+    name = "l2normalize"
+
+    @staticmethod
+    def forward(ctx: Context, x, *, axis: int = -1, eps: float = 1e-12):
+        norm = np.sqrt((x * x).sum(axis=axis, keepdims=True) + eps)
+        out = x / norm
+        ctx.save(out, norm)
+        ctx.axis = axis
+        return out
+
+    @staticmethod
+    def backward(ctx: Context, grad):
+        out, norm = ctx.saved
+        inner = (grad * out).sum(axis=ctx.axis, keepdims=True)
+        return ((grad - out * inner) / norm,)
+
+
+@register
+class CosineRowsOp(Op):
+    """Fused row-wise cosine similarity ``sum(l2n(a) * l2n(b), axis)``.
+
+    Reference composition: two ``l2_normalize`` chains + ``mul`` + ``sum``
+    (12 tape nodes).  Shares the normalized activations between the two
+    input gradients:
+
+    ``ga = g * (b_hat - c * a_hat) / ||a||``,
+    ``gb = g * (a_hat - c * b_hat) / ||b||``.
+    """
+
+    name = "cosine_rows"
+
+    @staticmethod
+    def forward(ctx: Context, a, b, *, axis: int = -1, eps: float = 1e-12):
+        na = np.sqrt((a * a).sum(axis=axis, keepdims=True) + eps)
+        nb = np.sqrt((b * b).sum(axis=axis, keepdims=True) + eps)
+        ah = a / na
+        bh = b / nb
+        cos = (ah * bh).sum(axis=axis)
+        ctx.save(ah, bh, na, nb)
+        ctx.cos_kept = np.expand_dims(cos, axis)
+        ctx.axis = axis
+        return cos
+
+    @staticmethod
+    def backward(ctx: Context, grad):
+        ah, bh, na, nb = ctx.saved
+        c = ctx.cos_kept
+        g = np.expand_dims(grad, ctx.axis)
+        ga = g * (bh - c * ah) / na if ctx.needs_input_grad[0] else None
+        gb = g * (ah - c * bh) / nb if ctx.needs_input_grad[1] else None
+        return ga, gb
+
+
+@register
+class NormalizedMseOp(Op):
+    """Fused BYOL regression loss ``sum((l2n(p) - l2n(t))**2, axis)``.
+
+    Reference composition: two ``l2_normalize`` chains + ``sub`` + ``mul``
+    + ``sum``.  With ``d = p_hat - t_hat``:
+
+    ``gp = 2 * (g*d - p_hat * sum(g*d*p_hat, axis)) / ||p||`` and the
+    symmetric expression for ``gt``.
+    """
+
+    name = "normalized_mse"
+
+    @staticmethod
+    def forward(ctx: Context, p, t, *, axis: int = -1, eps: float = 1e-12):
+        np_norm = np.sqrt((p * p).sum(axis=axis, keepdims=True) + eps)
+        nt_norm = np.sqrt((t * t).sum(axis=axis, keepdims=True) + eps)
+        ph = p / np_norm
+        th = t / nt_norm
+        diff = ph - th
+        ctx.save(ph, th, diff, np_norm, nt_norm)
+        ctx.axis = axis
+        return (diff * diff).sum(axis=axis)
+
+    @staticmethod
+    def backward(ctx: Context, grad):
+        ph, th, diff, np_norm, nt_norm = ctx.saved
+        axis = ctx.axis
+        g = np.expand_dims(grad, axis)
+        gd = 2.0 * g * diff
+        gp = gt = None
+        if ctx.needs_input_grad[0]:
+            gp = (gd - ph * (gd * ph).sum(axis=axis, keepdims=True)) / np_norm
+        if ctx.needs_input_grad[1]:
+            gt = (-gd + th * (gd * th).sum(axis=axis, keepdims=True)) / nt_norm
+        return gp, gt
+
+
+@register
+class BatchNormOp(Op):
+    """Fused train-mode batch normalization ``(x - mean) / sqrt(var + eps)``.
+
+    Reference composition: ``mean``/``var``/``sqrt``/``div`` — roughly 15
+    tape nodes per BatchNorm layer.  ``ctx.mean``/``ctx.var`` expose the
+    batch statistics (keepdims) so the layer can update running stats
+    without recomputing the reductions.  Backward is the standard analytic
+    form with full gradient flow through mean and variance:
+
+    ``dx = inv/m * (m*g - sum(g) - xhat * sum(g * xhat))``.
+    """
+
+    name = "batch_norm"
+
+    @staticmethod
+    def forward(ctx: Context, x, *, axes, eps: float):
+        axes = tuple(axes)
+        mean = x.mean(axis=axes, keepdims=True)
+        centered = x - mean
+        var = np.mean(centered * centered, axis=axes, keepdims=True)
+        inv = 1.0 / np.sqrt(var + eps)
+        xhat = centered * inv
+        ctx.save(xhat, inv)
+        ctx.axes = axes
+        ctx.m = int(np.prod([x.shape[a] for a in axes]))
+        ctx.mean = mean
+        ctx.var = var
+        return xhat
+
+    @staticmethod
+    def backward(ctx: Context, grad):
+        xhat, inv = ctx.saved
+        axes, m = ctx.axes, ctx.m
+        sum_g = grad.sum(axis=axes, keepdims=True)
+        sum_gx = (grad * xhat).sum(axis=axes, keepdims=True)
+        return ((inv / m) * (m * grad - sum_g - xhat * sum_gx),)

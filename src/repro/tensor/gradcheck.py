@@ -40,7 +40,9 @@ def numerical_gradient(fn: Callable[..., Tensor], inputs: Sequence[np.ndarray],
         out = fn(*tensors)
         return float(out.data.sum())
 
-    for i in range(flat.size):
+    # Deliberate per-element loop: this IS the scalar reference the
+    # vectorized backward passes are checked against.
+    for i in range(flat.size):  # repro-lint: disable=PERF001
         original = target[i]
         target[i] = original + eps
         upper = evaluate()

@@ -3,111 +3,71 @@
 These are free functions (rather than methods) either because they take
 multiple tensors (``concatenate``, ``stack``, ``where``) or because they are
 composite conveniences used widely across the library (``softmax``,
-``l2_normalize``).
+``l2_normalize``).  Each dispatches a registered op through the engine's
+``apply`` choke point; the fusable ones (``l2_normalize``,
+``cosine_similarity``, ``normalized_mse``, ``linear``, ``linear_relu``,
+``batch_norm_train``) consult :func:`~repro.tensor.engine.fusion_enabled`
+and fall back to the unfused reference composition under
+:func:`~repro.tensor.engine.no_fusion` so parity tests can pin the two
+paths against each other.
 """
 
 from __future__ import annotations
 
 from typing import Sequence
 
-import numpy as np
-
+from repro.tensor import engine
+from repro.tensor.engine import apply as _apply
 from repro.tensor.tensor import Tensor
 
 
 def exp(x: Tensor) -> Tensor:
-    data = np.exp(x.data)
-    return Tensor.from_op(data, [(x, lambda g: g * data)], op="exp")
+    return _apply("exp", x)
 
 
 def log(x: Tensor) -> Tensor:
-    data = np.log(x.data)
-    return Tensor.from_op(data, [(x, lambda g: g / x.data)], op="log")
+    return _apply("log", x)
 
 
 def sqrt(x: Tensor) -> Tensor:
-    data = np.sqrt(x.data)
-    return Tensor.from_op(data, [(x, lambda g: g * 0.5 / data)], op="sqrt")
+    return _apply("sqrt", x)
 
 
 def tanh(x: Tensor) -> Tensor:
-    data = np.tanh(x.data)
-    return Tensor.from_op(data, [(x, lambda g: g * (1.0 - data * data))], op="tanh")
+    return _apply("tanh", x)
 
 
 def sigmoid(x: Tensor) -> Tensor:
-    data = 1.0 / (1.0 + np.exp(-x.data))
-    return Tensor.from_op(data, [(x, lambda g: g * data * (1.0 - data))], op="sigmoid")
+    return _apply("sigmoid", x)
 
 
 def relu(x: Tensor) -> Tensor:
-    data = np.maximum(x.data, 0.0)
-    mask = x.data > 0
-
-    def grad_fn(g: np.ndarray) -> np.ndarray:
-        return g * mask
-
-    return Tensor.from_op(data, [(x, grad_fn)], op="relu")
+    return _apply("relu", x)
 
 
 def leaky_relu(x: Tensor, negative_slope: float = 0.01) -> Tensor:
-    data = np.where(x.data > 0, x.data, negative_slope * x.data)
-    slope = np.where(x.data > 0, 1.0, negative_slope).astype(x.data.dtype)
-    return Tensor.from_op(data, [(x, lambda g: g * slope)], op="leaky_relu")
+    return _apply("leaky_relu", x, negative_slope=negative_slope)
 
 
 def maximum(a: Tensor, b: Tensor) -> Tensor:
-    from repro.tensor.tensor import _unbroadcast
-
-    data = np.maximum(a.data, b.data)
-    a_wins = (a.data >= b.data).astype(a.data.dtype)
-    return Tensor.from_op(data, [
-        (a, lambda g: _unbroadcast(g * a_wins, a.shape)),
-        (b, lambda g: _unbroadcast(g * (1.0 - a_wins), b.shape)),
-    ], op="maximum")
+    return _apply("maximum", a, b)
 
 
 def minimum(a: Tensor, b: Tensor) -> Tensor:
     return -maximum(-a, -b)
 
 
-def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
+def where(condition, a: Tensor, b: Tensor) -> Tensor:
     """Differentiable select; ``condition`` is a plain boolean array."""
-    from repro.tensor.tensor import _unbroadcast
-
-    cond = np.asarray(condition)
-    data = np.where(cond, a.data, b.data)
-    return Tensor.from_op(data, [
-        (a, lambda g: _unbroadcast(np.where(cond, g, 0.0), a.shape)),
-        (b, lambda g: _unbroadcast(np.where(cond, 0.0, g), b.shape)),
-    ], op="where")
+    return _apply("where", a, b, condition=condition)
 
 
 def concatenate(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
-    data = np.concatenate([t.data for t in tensors], axis=axis)
-    offsets = np.cumsum([0] + [t.shape[axis] for t in tensors])
-    parents = []
-    for i, t in enumerate(tensors):
-        start, stop = offsets[i], offsets[i + 1]
-
-        def grad_fn(g: np.ndarray, start=start, stop=stop) -> np.ndarray:
-            slicer = [slice(None)] * g.ndim
-            slicer[axis] = slice(start, stop)
-            return g[tuple(slicer)]
-
-        parents.append((t, grad_fn))
-    return Tensor.from_op(data, parents, op="concat")
+    return _apply("concat", *tensors, axis=axis)
 
 
 def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
-    data = np.stack([t.data for t in tensors], axis=axis)
-    parents = []
-    for i, t in enumerate(tensors):
-        def grad_fn(g: np.ndarray, i=i) -> np.ndarray:
-            return np.take(g, i, axis=axis)
-
-        parents.append((t, grad_fn))
-    return Tensor.from_op(data, parents, op="stack")
+    return _apply("stack", *tensors, axis=axis)
 
 
 def softmax(x: Tensor, axis: int = -1) -> Tensor:
@@ -123,6 +83,8 @@ def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
 
 def l2_normalize(x: Tensor, axis: int = -1, eps: float = 1e-12) -> Tensor:
     """Normalize rows to unit Euclidean norm (used by cosine similarities)."""
+    if engine.fusion_enabled():
+        return _apply("l2normalize", x, axis=axis, eps=eps)
     norm = sqrt((x * x).sum(axis=axis, keepdims=True) + eps)
     return x / norm
 
@@ -135,4 +97,50 @@ def mse(a: Tensor, b: Tensor) -> Tensor:
 
 def cosine_similarity(a: Tensor, b: Tensor, axis: int = -1) -> Tensor:
     """Row-wise cosine similarity."""
+    if engine.fusion_enabled():
+        return _apply("cosine_rows", a, b, axis=axis)
     return (l2_normalize(a, axis=axis) * l2_normalize(b, axis=axis)).sum(axis=axis)
+
+
+def normalized_mse(p: Tensor, t: Tensor, axis: int = -1) -> Tensor:
+    """Per-row ``sum((l2n(p) - l2n(t))**2, axis)`` (BYOL's regression loss)."""
+    if engine.fusion_enabled():
+        return _apply("normalized_mse", p, t, axis=axis)
+    diff = l2_normalize(p, axis=axis) - l2_normalize(t, axis=axis)
+    return (diff * diff).sum(axis=axis)
+
+
+def linear(x: Tensor, weight: Tensor, bias: Tensor | None = None) -> Tensor:
+    """Fused ``x @ weight (+ bias)`` for 2-D activations."""
+    if engine.fusion_enabled() and x.ndim == 2:
+        if bias is None:
+            return _apply("linear", x, weight)
+        return _apply("linear", x, weight, bias)
+    out = x @ weight
+    return out if bias is None else out + bias
+
+
+def linear_relu(x: Tensor, weight: Tensor, bias: Tensor | None = None) -> Tensor:
+    """Fused ``relu(x @ weight (+ bias))`` — MLP hidden-layer kernel."""
+    if engine.fusion_enabled() and x.ndim == 2:
+        if bias is None:
+            return _apply("linear_relu", x, weight)
+        return _apply("linear_relu", x, weight, bias)
+    return relu(linear(x, weight, bias))
+
+
+def batch_norm_train(x: Tensor, axes: tuple[int, ...], eps: float):
+    """Train-mode batch normalization; returns ``(xhat, mean, var)``.
+
+    ``mean``/``var`` are the batch statistics as plain keepdims arrays (for
+    running-stat updates), not tensors on the tape.
+    """
+    axes = tuple(axes)
+    if engine.fusion_enabled():
+        out, ctx = engine.apply_ctx("batch_norm", x, axes=axes, eps=eps)
+        return out, ctx.mean, ctx.var
+    mean = x.mean(axis=axes, keepdims=True)
+    centered = x - mean
+    var = (centered * centered).mean(axis=axes, keepdims=True)
+    xhat = centered / sqrt(var + eps)
+    return xhat, mean.data, var.data

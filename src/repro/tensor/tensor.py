@@ -1,46 +1,34 @@
 """The :class:`Tensor` class: a numpy array with a gradient tape.
 
-The engine is deliberately simple: every differentiable operation creates a
-new :class:`Tensor` whose ``_parents`` holds ``(parent, grad_fn)`` pairs.
-``grad_fn`` maps the gradient of the output to the gradient contribution for
-that parent.  ``backward()`` walks the graph once in reverse topological
-order, so each node's backward function runs exactly once even for diamond-
-shaped graphs.
+Every differentiable operation dispatches through the op registry's single
+:func:`repro.tensor.engine.apply` choke point: the op's ``forward`` runs on
+the raw arrays, the result :class:`Tensor` records the op class, a
+:class:`~repro.tensor.engine.Context` of eagerly-saved arrays, and its
+parent tensors.  ``backward()`` walks the graph once in reverse topological
+order and calls each op's ``backward(ctx, grad)`` exactly once — even for
+diamond-shaped graphs — distributing the returned per-input gradients.
+
+Gradient accumulation reuses buffers: the first contribution to a node may
+be borrowed from the op that produced it, but as soon as a second
+contribution arrives the engine owns the accumulator and every further
+contribution is added in place via ``np.add(..., out=...)``.  Leaf ``.grad``
+arrays behave the same way, so ``zero_grad(set_to_none=False)`` makes the
+``.grad`` identity stable across steps (see DESIGN.md for the contract).
+
+:meth:`Tensor.from_op` remains as the legacy closure-taping API used by
+tests and quick experiments; library primitives are registered ops.
 """
 
 from __future__ import annotations
 
-import contextlib
-from typing import Callable, Iterable, Sequence
+from typing import Callable, Sequence
 
 import numpy as np
 
-from repro.tensor import anomaly
+from repro.tensor import anomaly, engine
+from repro.tensor.engine import DEFAULT_DTYPE, is_grad_enabled, no_grad  # noqa: F401  (re-exported API)
 
-DEFAULT_DTYPE = np.float32
-
-_GRAD_ENABLED = True
-
-
-def is_grad_enabled() -> bool:
-    """Return whether operations are currently being recorded on the tape."""
-    return _GRAD_ENABLED
-
-
-@contextlib.contextmanager
-def no_grad():
-    """Context manager that disables gradient recording.
-
-    Used for evaluation, representation extraction for data selection, and
-    snapshotting the old model's outputs during distillation.
-    """
-    global _GRAD_ENABLED
-    previous = _GRAD_ENABLED
-    _GRAD_ENABLED = False
-    try:
-        yield
-    finally:
-        _GRAD_ENABLED = previous
+_apply = engine.apply
 
 
 def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
@@ -87,25 +75,35 @@ class Tensor:
     Notes
     -----
     ``data`` is a property backed by the ``_data`` slot.  Rebinding it
-    (``t.data = arr``) bumps the tensor's ``_version`` counter; ops record
-    their parents' versions at tape time and :meth:`backward` raises if a
-    tensor saved for backward was rebound afterwards (stale-closure
+    (``t.data = arr``) bumps the tensor's ``_version`` counter; the engine
+    records its parents' versions at tape time and :meth:`backward` raises
+    if a tensor saved for backward was rebound afterwards (stale-graph
     protection, the analog of torch's in-place version counters).  In-place
     writes through the array itself (``t.data[...] = x``) bypass the
     counter and are instead forbidden statically by lint rule AD001.
+
+    Tensors built from Python/numpy scalars are *weak* for dtype promotion
+    (``engine.result_dtype``): a float64 scalar constant cannot upcast a
+    float32 graph.
     """
 
     __slots__ = ("_data", "requires_grad", "grad", "_parents", "_parent_versions",
-                 "_op", "_version", "_created_at")
+                 "_op", "_op_cls", "_ctx", "_inputs", "_grad_fns", "_weak",
+                 "_version", "_created_at")
 
-    def __init__(self, data, requires_grad: bool = False, *, _parents=(), _op: str = ""):
+    def __init__(self, data, requires_grad: bool = False, *, _op: str = ""):
         self._data = _as_array(data)
+        self._weak = not isinstance(data, (np.ndarray, Tensor)) and self._data.ndim == 0
         self._version = 0
-        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self.requires_grad = bool(requires_grad) and engine._GRAD_ENABLED
         self.grad: np.ndarray | None = None
-        self._parents: tuple = _parents if self.requires_grad or _parents else ()
+        self._parents: tuple = ()
         self._parent_versions: tuple = ()
         self._op = _op
+        self._op_cls = None
+        self._ctx = None
+        self._inputs: tuple = ()
+        self._grad_fns: tuple = ()
         self._created_at = anomaly.capture_stack() if anomaly.is_anomaly_enabled() else None
 
     @property
@@ -122,20 +120,24 @@ class Tensor:
     # ------------------------------------------------------------------
     @staticmethod
     def from_op(data: np.ndarray, parents: Sequence[tuple["Tensor", Callable]], op: str = "") -> "Tensor":
-        """Create the result of a differentiable primitive.
+        """Create the result of a differentiable primitive (legacy closure API).
 
         ``parents`` is a sequence of ``(tensor, grad_fn)`` pairs where
         ``grad_fn(output_grad) -> parent_grad``.  The result requires grad iff
         recording is enabled and any parent requires grad; otherwise the tape
-        is not extended.
+        is not extended.  Library code registers :class:`~repro.tensor.engine.Op`
+        classes and dispatches through ``engine.apply`` instead; this remains
+        for tests and one-off experiments (lint rule AD002 polices the
+        late-binding-closure hazard that comes with it).
         """
         if anomaly.is_anomaly_enabled():
             anomaly.check_forward(np.asarray(data), op)
-        if _GRAD_ENABLED and any(p.requires_grad for p, _fn in parents):
-            out = Tensor(data, requires_grad=True,
-                         _parents=tuple((p, fn) for p, fn in parents if p.requires_grad),
-                         _op=op)
-            out._parent_versions = tuple(p._version for p, _fn in out._parents)
+        if engine._GRAD_ENABLED and any(p.requires_grad for p, _fn in parents):
+            out = Tensor(data, requires_grad=True, _op=op)
+            kept = [(p, fn) for p, fn in parents if p.requires_grad]
+            out._parents = tuple(p for p, _fn in kept)
+            out._grad_fns = tuple(fn for _p, fn in kept)
+            out._parent_versions = tuple(p._version for p in out._parents)
         else:
             out = Tensor(data, requires_grad=False)
         return out
@@ -153,42 +155,51 @@ class Tensor:
     # ------------------------------------------------------------------
     @property
     def shape(self) -> tuple[int, ...]:
-        return self.data.shape
+        return self._data.shape
 
     @property
     def ndim(self) -> int:
-        return self.data.ndim
+        return self._data.ndim
 
     @property
     def size(self) -> int:
-        return self.data.size
+        return self._data.size
 
     @property
     def dtype(self):
-        return self.data.dtype
+        return self._data.dtype
 
     def __len__(self) -> int:
-        return len(self.data)
+        return len(self._data)
 
     def numpy(self) -> np.ndarray:
         """Return the underlying array (shared, not copied)."""
-        return self.data
+        return self._data
 
     def item(self) -> float:
-        return float(self.data)
+        return float(self._data)
 
     def detach(self) -> "Tensor":
         """Return a tensor sharing this data but cut from the tape.
 
         This is the paper's stop-gradient operator ``sg(.)``.
         """
-        return Tensor(self.data, requires_grad=False)
+        return Tensor(self._data, requires_grad=False)
 
     def copy(self) -> "Tensor":
-        return Tensor(self.data.copy(), requires_grad=False)
+        return Tensor(self._data.copy(), requires_grad=False)
 
-    def zero_grad(self) -> None:
-        self.grad = None
+    def zero_grad(self, set_to_none: bool = True) -> None:
+        """Clear the gradient; ``set_to_none=False`` keeps the buffer.
+
+        With ``set_to_none=False`` the existing ``.grad`` array is zero-filled
+        in place, so the next backward accumulates into the same buffer with
+        no allocation and the ``.grad`` identity stays stable across steps.
+        """
+        if set_to_none or self.grad is None:
+            self.grad = None
+        else:
+            self.grad.fill(0.0)
 
     def __repr__(self) -> str:
         grad_tag = ", requires_grad=True" if self.requires_grad else ""
@@ -211,8 +222,8 @@ class Tensor:
         if grad is None:
             if self.size != 1:
                 raise RuntimeError("backward() on a non-scalar tensor requires an explicit gradient")
-            grad = np.ones_like(self.data)
-        grad = _as_array(grad, self.data.dtype)
+            grad = np.ones_like(self._data)
+        grad = _as_array(grad, self._data.dtype)
 
         order: list[Tensor] = []
         seen: set[int] = set()
@@ -226,7 +237,7 @@ class Tensor:
                 continue
             seen.add(id(node))
             stack.append((node, True))
-            for parent, _fn in node._parents:
+            for parent in node._parents:
                 if id(parent) not in seen:
                     stack.append((parent, False))
 
@@ -234,19 +245,34 @@ class Tensor:
         if check_anomaly:
             anomaly.check_backward(grad, self._op, self._created_at)
 
+        # ``grads`` accumulates per-node gradients; ``owned`` marks the ids
+        # whose accumulator array this walk allocated itself, so further
+        # contributions may be added in place (buffer reuse) without risking
+        # corruption of an array an op's backward returned by reference.
         grads: dict[int, np.ndarray] = {id(self): grad}
+        owned: set[int] = set()
         for node in reversed(order):
-            node_grad = grads.pop(id(node), None)
+            key = id(node)
+            node_grad = grads.pop(key, None)
             if node_grad is None:
                 continue
             if not node._parents:
-                # Leaf: accumulate into .grad
-                if node.grad is None:
-                    node.grad = node_grad.copy()
+                # Leaf: accumulate into .grad, reusing the buffer in place
+                # once it exists (the identity-stability contract).  .grad
+                # always carries the leaf's own dtype — a float64 scalar
+                # upstream cannot upcast a float32 parameter's gradient.
+                if node_grad.dtype != node._data.dtype:
+                    node_grad = node_grad.astype(node._data.dtype)
+                    owned.add(key)
+                buf = node.grad
+                if buf is None:
+                    node.grad = node_grad if key in owned else node_grad.copy()
+                elif buf.shape == node_grad.shape and buf.dtype == node_grad.dtype:
+                    np.add(buf, node_grad, out=buf)
                 else:
-                    node.grad = node.grad + node_grad
+                    node.grad = buf + node_grad
                 continue
-            for (parent, _fn), saved in zip(node._parents, node._parent_versions):
+            for parent, saved in zip(node._parents, node._parent_versions):
                 if parent._version != saved:
                     raise RuntimeError(
                         f"a tensor saved for the backward of op '{node._op or 'unknown'}' "
@@ -256,19 +282,28 @@ class Tensor:
                         f"Run backward() before mutating parameters, or detach() the "
                         f"tensor if the mutation is intentional."
                     )
-            for parent, fn in node._parents:
-                contribution = fn(node_grad)
-                if contribution is None:
+            if node._op_cls is not None:
+                contributions = node._op_cls.backward(node._ctx, node_grad)
+                pairs = zip(node._inputs, contributions)
+            else:
+                pairs = zip(node._parents, (fn(node_grad) for fn in node._grad_fns))
+            for parent, contribution in pairs:
+                if contribution is None or not parent.requires_grad:
                     continue
+                contribution = np.asarray(contribution)
                 if check_anomaly:
-                    anomaly.check_backward(np.asarray(contribution), node._op,
+                    anomaly.check_backward(contribution, node._op,
                                            node._created_at)
-                key = id(parent)
-                if key in grads:
-                    grads[key] = grads[key] + contribution
+                pkey = id(parent)
+                accumulated = grads.get(pkey)
+                if accumulated is None:
+                    grads[pkey] = contribution
+                elif (pkey in owned and accumulated.shape == contribution.shape
+                      and accumulated.dtype == contribution.dtype):
+                    np.add(accumulated, contribution, out=accumulated)
                 else:
-                    grads[key] = contribution
-            # interior nodes may also be leaves of interest (rare); keep grads only for leaves
+                    grads[pkey] = accumulated + contribution
+                    owned.add(pkey)
 
     # ------------------------------------------------------------------
     # Arithmetic
@@ -277,46 +312,26 @@ class Tensor:
         return other if isinstance(other, Tensor) else Tensor(other)
 
     def __add__(self, other) -> "Tensor":
-        other = self._coerce(other)
-        data = self.data + other.data
-        return Tensor.from_op(data, [
-            (self, lambda g: _unbroadcast(g, self.shape)),
-            (other, lambda g: _unbroadcast(g, other.shape)),
-        ], op="add")
+        return _apply("add", self, other)
 
     __radd__ = __add__
 
     def __neg__(self) -> "Tensor":
-        return Tensor.from_op(-self.data, [(self, lambda g: -g)], op="neg")
+        return _apply("neg", self)
 
     def __sub__(self, other) -> "Tensor":
-        other = self._coerce(other)
-        data = self.data - other.data
-        return Tensor.from_op(data, [
-            (self, lambda g: _unbroadcast(g, self.shape)),
-            (other, lambda g: _unbroadcast(-g, other.shape)),
-        ], op="sub")
+        return _apply("sub", self, other)
 
     def __rsub__(self, other) -> "Tensor":
         return self._coerce(other).__sub__(self)
 
     def __mul__(self, other) -> "Tensor":
-        other = self._coerce(other)
-        data = self.data * other.data
-        return Tensor.from_op(data, [
-            (self, lambda g: _unbroadcast(g * other.data, self.shape)),
-            (other, lambda g: _unbroadcast(g * self.data, other.shape)),
-        ], op="mul")
+        return _apply("mul", self, other)
 
     __rmul__ = __mul__
 
     def __truediv__(self, other) -> "Tensor":
-        other = self._coerce(other)
-        data = self.data / other.data
-        return Tensor.from_op(data, [
-            (self, lambda g: _unbroadcast(g / other.data, self.shape)),
-            (other, lambda g: _unbroadcast(-g * self.data / (other.data ** 2), other.shape)),
-        ], op="div")
+        return _apply("div", self, other)
 
     def __rtruediv__(self, other) -> "Tensor":
         return self._coerce(other).__truediv__(self)
@@ -324,43 +339,27 @@ class Tensor:
     def __pow__(self, exponent: float) -> "Tensor":
         if not isinstance(exponent, (int, float)):
             raise TypeError("Tensor.__pow__ supports scalar exponents only")
-        data = self.data ** exponent
-        return Tensor.from_op(data, [
-            (self, lambda g: g * exponent * self.data ** (exponent - 1)),
-        ], op="pow")
+        return _apply("pow", self, exponent=float(exponent))
 
     def __matmul__(self, other) -> "Tensor":
-        other = self._coerce(other)
-        data = self.data @ other.data
-
-        def grad_left(g: np.ndarray) -> np.ndarray:
-            if other.data.ndim == 1:
-                return np.outer(g, other.data) if self.data.ndim == 2 else g * other.data
-            return _unbroadcast(g @ np.swapaxes(other.data, -1, -2), self.shape)
-
-        def grad_right(g: np.ndarray) -> np.ndarray:
-            if self.data.ndim == 1:
-                return np.outer(self.data, g) if other.data.ndim == 2 else g * self.data
-            return _unbroadcast(np.swapaxes(self.data, -1, -2) @ g, other.shape)
-
-        return Tensor.from_op(data, [(self, grad_left), (other, grad_right)], op="matmul")
+        return _apply("matmul", self, other)
 
     # Comparisons produce plain numpy bool arrays (non-differentiable).
     def __gt__(self, other):
         other_data = other.data if isinstance(other, Tensor) else other
-        return self.data > other_data
+        return self._data > other_data
 
     def __lt__(self, other):
         other_data = other.data if isinstance(other, Tensor) else other
-        return self.data < other_data
+        return self._data < other_data
 
     def __ge__(self, other):
         other_data = other.data if isinstance(other, Tensor) else other
-        return self.data >= other_data
+        return self._data >= other_data
 
     def __le__(self, other):
         other_data = other.data if isinstance(other, Tensor) else other
-        return self.data <= other_data
+        return self._data <= other_data
 
     # ------------------------------------------------------------------
     # Shape manipulation
@@ -368,9 +367,7 @@ class Tensor:
     def reshape(self, *shape: int) -> "Tensor":
         if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
             shape = tuple(shape[0])
-        original = self.shape
-        data = self.data.reshape(shape)
-        return Tensor.from_op(data, [(self, lambda g: g.reshape(original))], op="reshape")
+        return _apply("reshape", self, shape=shape)
 
     def flatten(self, start_dim: int = 0) -> "Tensor":
         shape = self.shape[:start_dim] + (-1,)
@@ -379,40 +376,20 @@ class Tensor:
     def transpose(self, *axes: int) -> "Tensor":
         if not axes:
             axes = tuple(reversed(range(self.ndim)))
-        inverse = np.argsort(axes)
-        data = self.data.transpose(axes)
-        return Tensor.from_op(data, [(self, lambda g: g.transpose(inverse))], op="transpose")
+        return _apply("transpose", self, axes=axes)
 
     @property
     def T(self) -> "Tensor":
         return self.transpose()
 
     def __getitem__(self, index) -> "Tensor":
-        data = self.data[index]
-        shape = self.shape
-        dtype = self.data.dtype
-
-        def grad_fn(g: np.ndarray) -> np.ndarray:
-            full = np.zeros(shape, dtype=dtype)
-            np.add.at(full, index, g)
-            return full
-
-        return Tensor.from_op(data, [(self, grad_fn)], op="getitem")
+        return _apply("getitem", self, index=index)
 
     # ------------------------------------------------------------------
     # Reductions
     # ------------------------------------------------------------------
     def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
-        data = self.data.sum(axis=axis, keepdims=keepdims)
-        shape = self.shape
-
-        def grad_fn(g: np.ndarray) -> np.ndarray:
-            if axis is None:
-                return np.broadcast_to(g, shape).astype(g.dtype)
-            g_expanded = g if keepdims else np.expand_dims(g, axis)
-            return np.broadcast_to(g_expanded, shape).astype(g.dtype)
-
-        return Tensor.from_op(data, [(self, grad_fn)], op="sum")
+        return _apply("sum", self, axis=axis, keepdims=keepdims)
 
     def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
         if axis is None:
@@ -428,40 +405,26 @@ class Tensor:
         return (centered * centered).mean(axis=axis, keepdims=keepdims)
 
     def max(self, axis=None, keepdims: bool = False) -> "Tensor":
-        data = self.data.max(axis=axis, keepdims=keepdims)
-        shape = self.shape
-
-        def grad_fn(g: np.ndarray) -> np.ndarray:
-            if axis is None:
-                mask = (self.data == data).astype(g.dtype)
-                mask /= mask.sum()
-                return mask * g
-            expanded = data if keepdims else np.expand_dims(data, axis)
-            mask = (self.data == expanded).astype(g.dtype)
-            mask /= mask.sum(axis=axis, keepdims=True)
-            g_expanded = g if keepdims else np.expand_dims(g, axis)
-            return mask * g_expanded
-
-        return Tensor.from_op(data, [(self, grad_fn)], op="max")
+        return _apply("max", self, axis=axis, keepdims=keepdims)
 
     def min(self, axis=None, keepdims: bool = False) -> "Tensor":
         return -((-self).max(axis=axis, keepdims=keepdims))
 
     def abs(self) -> "Tensor":
-        data = np.abs(self.data)
-        return Tensor.from_op(data, [(self, lambda g: g * np.sign(self.data))], op="abs")
+        return _apply("abs", self)
 
     def trace(self) -> "Tensor":
         """Trace of the trailing 2-D matrix (used by the Barlow loss)."""
         if self.ndim != 2:
             raise ValueError("trace() expects a 2-D tensor")
-        data = np.trace(self.data)
-        n = self.shape[0]
+        return _apply("trace", self)
 
-        def grad_fn(g: np.ndarray) -> np.ndarray:
-            return np.eye(n, self.shape[1], dtype=self.data.dtype) * g
 
-        return Tensor.from_op(np.asarray(data, dtype=self.data.dtype), [(self, grad_fn)], op="trace")
+engine._bind_tensor_class(Tensor)
+
+# Populate the op registry; core_ops depends only on engine, so this import
+# cannot cycle back here.
+from repro.tensor import core_ops  # noqa: E402,F401
 
 
 def tensor(data, requires_grad: bool = False) -> Tensor:

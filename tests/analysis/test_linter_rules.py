@@ -274,4 +274,5 @@ class TestRunner:
             rules_by_code(["NOPE99"])
 
     def test_default_rules_cover_all_documented_codes(self):
-        assert {r.code for r in default_rules()} == {"DET001", "AD001", "AD002", "API001", "SER001"}
+        assert {r.code for r in default_rules()} == {"DET001", "AD001", "AD002", "API001",
+                                                     "SER001", "PERF001"}

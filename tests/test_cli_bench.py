@@ -1,0 +1,58 @@
+"""``repro bench --smoke`` tier-1 coverage: the suite runs, reports every
+fused kernel, and the JSON artifact has the schema BENCH_pr3.json commits.
+"""
+
+import json
+
+from repro.bench import PRE_REFACTOR_REFERENCE, run_suite
+from repro.cli import build_parser, main
+
+FUSED_OPS = {"linear", "linear_relu", "l2_normalize", "cosine_rows",
+             "normalized_mse", "batch_norm"}
+
+
+class TestBenchParser:
+    def test_bench_flags_parse(self):
+        args = build_parser().parse_args(
+            ["bench", "--smoke", "--repeats", "2", "--output", "out.json"])
+        assert args.smoke and args.repeats == 2 and args.output == "out.json"
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["bench"])
+        assert not args.smoke and args.repeats is None and args.output is None
+
+
+class TestBenchSmoke:
+    def test_smoke_command_writes_report(self, capsys, tmp_path):
+        output = tmp_path / "bench.json"
+        assert main(["bench", "--smoke", "--repeats", "1",
+                     "--output", str(output)]) == 0
+        out = capsys.readouterr().out
+        assert "op microbenches (smoke)" in out
+        assert "SSL step" in out
+
+        report = json.loads(output.read_text(encoding="utf-8"))
+        assert report["mode"] == "smoke"
+        assert set(report["ops"]) == FUSED_OPS
+        for entry in report["ops"].values():
+            for path in ("fused", "unfused"):
+                assert entry[path]["median_s"] > 0.0
+        ssl = report["ssl_step"]
+        assert ssl["fused"]["median_s"] > 0.0
+        assert ssl["speedup_fused_vs_unfused"] > 0.0
+        # the pre-refactor reference is full-shape only; smoke must not
+        # pretend to compare against it
+        assert "speedup_vs_pre_refactor" not in ssl
+
+    def test_run_suite_smoke_is_json_serializable(self):
+        report = run_suite(smoke=True, repeats=1)
+        json.dumps(report)  # raises on non-serializable values
+
+    def test_committed_baseline_matches_reference_constant(self):
+        import pathlib
+
+        baseline = pathlib.Path(__file__).resolve().parents[1] / "BENCH_pr3.json"
+        payload = json.loads(baseline.read_text(encoding="utf-8"))
+        ssl = payload["ssl_step"]
+        assert ssl["pre_refactor_reference"] == PRE_REFACTOR_REFERENCE
+        assert ssl["speedup_vs_pre_refactor"] >= ssl["required_speedup"]
