@@ -10,6 +10,8 @@ Codes
   (:class:`StateDictSerializableRule`)
 - ``PERF001`` — per-element loops / dtype promotion in hot modules
   (:class:`HotLoopDtypeRule`)
+- ``TAPE001`` — op dispatch bypassing ``apply_ctx``'s capture hook
+  (:class:`TapeBypassRule`)
 """
 
 from __future__ import annotations
@@ -19,6 +21,7 @@ from repro.analysis.rules.autograd import InplaceMutationRule, LateBindingClosur
 from repro.analysis.rules.determinism import SeedlessRNGRule
 from repro.analysis.rules.perf import HotLoopDtypeRule
 from repro.analysis.rules.serialization import StateDictSerializableRule
+from repro.analysis.rules.tape import TapeBypassRule
 
 __all__ = [
     "ExportHygieneRule",
@@ -27,12 +30,14 @@ __all__ = [
     "LateBindingClosureRule",
     "SeedlessRNGRule",
     "StateDictSerializableRule",
+    "TapeBypassRule",
     "default_rules",
     "rules_by_code",
 ]
 
 _RULE_CLASSES = (SeedlessRNGRule, InplaceMutationRule, LateBindingClosureRule,
-                 ExportHygieneRule, StateDictSerializableRule, HotLoopDtypeRule)
+                 ExportHygieneRule, StateDictSerializableRule, HotLoopDtypeRule,
+                 TapeBypassRule)
 
 
 def default_rules():

@@ -9,16 +9,19 @@ from repro.bench.harness import BenchTiming, speedup, time_callable
 from repro.bench.suites import (
     PRE_REFACTOR_REFERENCE,
     REQUIRED_SPEEDUP,
+    TAPE_REQUIRED_SPEEDUP,
     build_ssl_step,
     format_report,
     op_microbenches,
     run_suite,
     ssl_step_bench,
+    tape_replay_bench,
 )
 
 __all__ = [
     "PRE_REFACTOR_REFERENCE",
     "REQUIRED_SPEEDUP",
+    "TAPE_REQUIRED_SPEEDUP",
     "BenchTiming",
     "build_ssl_step",
     "format_report",
@@ -26,5 +29,6 @@ __all__ = [
     "run_suite",
     "speedup",
     "ssl_step_bench",
+    "tape_replay_bench",
     "time_callable",
 ]

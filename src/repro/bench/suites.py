@@ -33,6 +33,10 @@ PRE_REFACTOR_REFERENCE = {"median_s": 0.00974, "best_s": 0.00727, "mean_s": 0.01
 #: pre-refactor reference by at least this factor.
 REQUIRED_SPEEDUP = 1.5
 
+#: PR 4 acceptance bar: median tape-replayed SSL-step time must beat the
+#: eager-dispatch step by at least this factor (full shapes only).
+TAPE_REQUIRED_SPEEDUP = 1.3
+
 
 # ----------------------------------------------------------------------
 # Op microbenches
@@ -103,15 +107,18 @@ def op_microbenches(*, smoke: bool = False, repeats: int | None = None) -> dict:
 # ----------------------------------------------------------------------
 # SSL training-step bench
 # ----------------------------------------------------------------------
-def build_ssl_step(*, smoke: bool = False, seed: int = 0):
+def build_ssl_step(*, smoke: bool = False, seed: int = 0, use_tape: bool = False):
     """Build the SimSiam+MLP training step the acceptance bar measures.
 
     Returns ``(step, batches)`` where ``step()`` runs zero_grad -> loss ->
-    backward -> optimizer step on a fixed pair of augmented views.
+    backward -> optimizer step on a fixed pair of augmented views.  With
+    ``use_tape`` the step runs through :class:`repro.ssl.SSLTrainStep`'s
+    tape: captured on the first call, replayed afterwards.
     """
     from repro.optim import SGD
     from repro.ssl.encoder import Encoder, build_backbone
     from repro.ssl.simsiam import SimSiam
+    from repro.ssl.step import SSLTrainStep
 
     batch, input_dim, hidden = (8, 8, 16) if smoke else (128, 32, 64)
     rng = np.random.default_rng(seed)
@@ -119,6 +126,7 @@ def build_ssl_step(*, smoke: bool = False, seed: int = 0):
     encoder = Encoder(backbone, representation_dim=hidden, rng=rng)
     objective = SimSiam(encoder, rng=rng)
     optimizer = SGD(objective.parameters(), lr=0.03, momentum=0.9)
+    train_step = SSLTrainStep(objective, optimizer, use_tape=use_tape)
 
     data_rng = np.random.default_rng(42)
     x = data_rng.normal(size=(batch, input_dim)).astype(np.float32)
@@ -126,11 +134,7 @@ def build_ssl_step(*, smoke: bool = False, seed: int = 0):
     v2 = x + data_rng.normal(scale=0.1, size=x.shape).astype(np.float32)
 
     def step() -> float:
-        optimizer.zero_grad(set_to_none=False)
-        loss = objective.css_loss(v1, v2)
-        loss.backward()
-        optimizer.step()
-        return float(loss.data)
+        return train_step(v1, v2)
 
     return step, (v1, v2)
 
@@ -165,13 +169,46 @@ def ssl_step_bench(*, smoke: bool = False, repeats: int | None = None) -> dict:
     return result
 
 
+def tape_replay_bench(*, smoke: bool = False, repeats: int | None = None) -> dict:
+    """Time the SSL step eager vs tape-replayed (PR 4's acceptance bar).
+
+    Both variants run the identical model/optimizer configuration; the
+    taped one captures during warmup and replays the recorded program for
+    every timed repetition.
+    """
+    warmup = 1 if smoke else 5
+    repeats = repeats or (3 if smoke else 30)
+
+    step_eager, _ = build_ssl_step(smoke=smoke, use_tape=False)
+    eager = time_callable(step_eager, warmup=warmup, repeats=repeats)
+
+    step_taped, _ = build_ssl_step(smoke=smoke, use_tape=True)
+    replay = time_callable(step_taped, warmup=warmup, repeats=repeats)
+
+    result = {
+        "config": {"smoke": smoke, "batch": 8 if smoke else 128,
+                   "backbone": "mlp", "objective": "simsiam",
+                   "optimizer": "sgd(lr=0.03, momentum=0.9)",
+                   "repeats": repeats},
+        "eager": eager.to_dict(),
+        "replay": replay.to_dict(),
+        "speedup_replay_vs_eager": speedup(eager, replay),
+    }
+    if not smoke:
+        # Smoke shapes are dominated by fixed Python overhead; the bar is
+        # only meaningful at full shapes.
+        result["required_speedup"] = TAPE_REQUIRED_SPEEDUP
+    return result
+
+
 def run_suite(*, smoke: bool = False, repeats: int | None = None) -> dict:
     """Run every bench; return one JSON-serializable report."""
     return {
-        "suite": "repro-bench-pr3",
+        "suite": "repro-bench-pr4",
         "mode": "smoke" if smoke else "full",
         "ops": op_microbenches(smoke=smoke, repeats=repeats),
         "ssl_step": ssl_step_bench(smoke=smoke, repeats=repeats),
+        "tape": tape_replay_bench(smoke=smoke, repeats=repeats),
     }
 
 
@@ -200,16 +237,30 @@ def format_report(report: dict) -> str:
                      f"({ssl['pre_refactor_reference']['median_s'] * 1e3:.2f} ms): "
                      f"{ssl['speedup_vs_pre_refactor']:.2f}x "
                      f"(required >= {ssl['required_speedup']:.1f}x) [{verdict}]")
+    tape = report.get("tape")
+    if tape is not None:
+        lines.append("")
+        lines.append(f"tape replay (same step): "
+                     f"eager {tape['eager']['median_s'] * 1e3:.2f} ms, "
+                     f"replayed {tape['replay']['median_s'] * 1e3:.2f} ms "
+                     f"({tape['speedup_replay_vs_eager']:.2f}x)")
+        if "required_speedup" in tape:
+            verdict = ("PASS" if tape["speedup_replay_vs_eager"] >= tape["required_speedup"]
+                       else "FAIL")
+            lines.append(f"tape acceptance: required >= "
+                         f"{tape['required_speedup']:.1f}x [{verdict}]")
     return "\n".join(lines)
 
 
 __all__ = [
     "PRE_REFACTOR_REFERENCE",
     "REQUIRED_SPEEDUP",
+    "TAPE_REQUIRED_SPEEDUP",
     "BenchTiming",
     "build_ssl_step",
     "format_report",
     "op_microbenches",
     "run_suite",
     "ssl_step_bench",
+    "tape_replay_bench",
 ]

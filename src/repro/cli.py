@@ -17,11 +17,12 @@ Commands
 ``list``     show available benchmarks, methods, selection strategies,
              replay losses, and objectives;
 ``lint``     run the repo-specific static analysis (DET001/AD001/AD002/
-             API001/SER001/PERF001) plus the gradcheck-coverage audit;
-             exits non-zero on any violation (see ``repro.analysis``);
-``bench``    run the op-registry microbenchmarks (fused-vs-unfused kernels
-             and the SSL training-step bench); ``--output`` writes the JSON
-             report, ``--smoke`` runs a sub-second variant for CI.
+             API001/SER001/PERF001/TAPE001) plus the gradcheck-coverage
+             audit; exits non-zero on any violation (see ``repro.analysis``);
+``bench``    run the op-registry microbenchmarks (fused-vs-unfused kernels,
+             the SSL training-step bench, and the tape eager-vs-replay
+             bench); ``--output`` writes the JSON report, ``--smoke`` runs
+             a sub-second variant for CI.
 """
 
 from __future__ import annotations
@@ -50,7 +51,7 @@ def _config_from_args(args: argparse.Namespace) -> ContinualConfig:
     overrides = {}
     for field in ("epochs", "batch_size", "lr", "memory_budget", "replay_batch_size",
                   "noise_neighbors", "selection", "replay_loss", "objective",
-                  "replay_sampling"):
+                  "replay_sampling", "use_tape"):
         value = getattr(args, field, None)
         if value is not None:
             overrides[field] = value
@@ -109,6 +110,10 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--replay-sampling", dest="replay_sampling",
                         choices=["uniform", "similarity"])
     parser.add_argument("--objective", choices=["simsiam", "barlow", "byol", "vae"])
+    parser.add_argument("--no-tape", dest="use_tape", action="store_const",
+                        const=False, default=None,
+                        help="disable tape capture/replay of the training "
+                             "step (force eager dispatch)")
     parser.add_argument("--scale", default="ci", choices=["ci", "paper"])
     parser.add_argument("--n-tasks", dest="n_tasks", type=int)
     parser.add_argument("--seed", type=int, default=0)
@@ -238,6 +243,10 @@ def _command_bench(args: argparse.Namespace) -> int:
     ssl = report["ssl_step"]
     if "speedup_vs_pre_refactor" in ssl \
             and ssl["speedup_vs_pre_refactor"] < REQUIRED_SPEEDUP:
+        return 1
+    tape = report.get("tape", {})
+    if "required_speedup" in tape \
+            and tape["speedup_replay_vs_eager"] < tape["required_speedup"]:
         return 1
     return 0
 

@@ -64,6 +64,11 @@ class ContinualConfig:
         Augmentation strengths for image / tabular pipelines.
     knn_k:
         Probe neighbourhood for evaluation (Sec. IV-A5's KNN classifier).
+    use_tape:
+        Capture the training step once per batch shape and replay the
+        recorded program on subsequent steps (``repro.tensor.tape``).
+        Replay is bit-for-bit identical to eager dispatch and only engages
+        for tape-safe methods; disable to force eager execution everywhere.
     """
 
     epochs: int = 6
@@ -97,6 +102,8 @@ class ContinualConfig:
     augment_padding: int = 1
     tabular_corruption: float = 0.3
     knn_k: int = 20
+
+    use_tape: bool = True
 
     def __post_init__(self):
         if self.epochs < 1:

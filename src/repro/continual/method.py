@@ -56,6 +56,20 @@ class ContinualMethod:
         """Parameters the optimizer updates this increment."""
         return self.objective.parameters()
 
+    @property
+    def tape_safe(self) -> bool:
+        """Whether the trainer may tape-replay this method's training step.
+
+        Conservative default: only methods that keep the base
+        :meth:`batch_loss` (a pure, shape-stable function of its array
+        arguments) qualify.  Overriding methods typically sample replay
+        batches, draw per-step noise, or snapshot old-model outputs — all
+        things a recorded tape would freeze.  A second line of defence
+        (Dropout, the VAE sampler, BYOL's momentum update poisoning the
+        active capture) catches unsafe *objectives* under a safe method.
+        """
+        return type(self).batch_loss is ContinualMethod.batch_loss
+
     def batch_loss(self, view1: np.ndarray, view2: np.ndarray,
                    raw: np.ndarray) -> Tensor:
         """Training loss for one batch: two augmented views plus the raw batch."""

@@ -41,6 +41,7 @@ from repro.runtime.guardrail import (GuardrailPolicy, GuardrailViolation,
                                      build_failure_report, clip_detail,
                                      global_grad_norm)
 from repro.tensor.anomaly import AnomalyError, detect_anomaly
+from repro.tensor.tape import TapedFunction
 from repro.utils.rng import get_rng_state, set_rng_state
 
 
@@ -104,6 +105,7 @@ class ContinualTrainer:
         self.rng = rng
         self.verbose = verbose
         self.guardrails = guardrails
+        self._taped_step: TapedFunction | None = None
         self.checkpoints = None
         log_path = None
         if checkpoint_dir is not None:
@@ -202,6 +204,14 @@ class ContinualTrainer:
         policy = self.guardrails
         method.augment = _build_augment(config, task.train.x)
 
+        # Fresh tape per task: the trainable parameter set (heads, frozen
+        # backbones) can change at task boundaries, and a stale tape would
+        # fail its validity check every batch anyway.
+        self._taped_step = None
+        if config.use_tape and method.tape_safe:
+            self._taped_step = TapedFunction(self._eager_loss_backward,
+                                             name=f"{method.name}-step")
+
         # Task-start snapshot: equivalent to the last good checkpoint (same
         # boundary), held in memory so a restore never touches disk.
         snapshot = None
@@ -258,6 +268,23 @@ class ContinualTrainer:
                     return False
         return True
 
+    def _eager_loss_backward(self, view1, view2, x_batch):
+        """The raw step body: loss forward + backward, eager dispatch."""
+        loss = self.method.batch_loss(view1, view2, x_batch)
+        loss.backward()
+        return loss
+
+    def _loss_backward(self, view1, view2, x_batch):
+        """Forward + backward, replayed from the step tape when valid.
+
+        All three batch arrays are declared as tape inputs so the validity
+        check covers them even when ``batch_loss`` ignores ``x_batch``.
+        Gradients land in the same leaf ``.grad`` buffers either way.
+        """
+        if self._taped_step is not None:
+            return self._taped_step(view1, view2, x_batch)
+        return self._eager_loss_backward(view1, view2, x_batch)
+
     def _guarded_step(self, x_batch, optimizer, task_index: int, epoch: int,
                       batch_index: int) -> dict | None:
         """One optimizer step; returns the logged event if the batch was skipped."""
@@ -267,8 +294,7 @@ class ContinualTrainer:
         optimizer.zero_grad()
 
         if policy is None:
-            loss = method.batch_loss(view1, view2, x_batch)
-            loss.backward()
+            self._loss_backward(view1, view2, x_batch)
             method.before_step()
             optimizer.step()
             method.after_step()
@@ -276,14 +302,19 @@ class ContinualTrainer:
 
         try:
             if policy.anomaly_mode:
+                # Anomaly mode inspects every eager dispatch, so this path
+                # never tapes (a capture under anomaly marks itself unsafe).
                 with detect_anomaly():
                     loss = method.batch_loss(view1, view2, x_batch)
                     self._check_loss(loss, policy)
                     loss.backward()
             else:
-                loss = method.batch_loss(view1, view2, x_batch)
+                # The taped step runs forward and backward as one unit, so
+                # the loss screen moves after backward; a violation still
+                # skips the batch and zero_grad discards the gradients, so
+                # the resulting state is identical.
+                loss = self._loss_backward(view1, view2, x_batch)
                 self._check_loss(loss, policy)
-                loss.backward()
         except AnomalyError as exc:
             optimizer.zero_grad()
             return self._skip_event("anomaly", exc, task_index, epoch, batch_index)

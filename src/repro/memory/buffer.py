@@ -21,7 +21,9 @@ class MemoryRecord:
 
     task_id: int
     samples: np.ndarray                       # (m, ...) raw inputs
-    noise_scales: np.ndarray | None = None    # (m,) r(x) values, EDSR only
+    noise_scales: np.ndarray | None = None    # r(x), EDSR only: (m, d) in the
+                                              # default "vector" noise mode,
+                                              # (m,) in "scalar" mode
     targets: np.ndarray | None = None         # (m, d) stored outputs, DER only
     labels: np.ndarray | None = None          # (m,) evaluation-only labels
 
@@ -101,6 +103,14 @@ class MemoryBuffer:
         scales = [r.noise_scales for r in self.records]
         if any(s is None for s in scales):
             raise ValueError("some records lack noise scales")
+        ndims = {s.ndim for s in scales}
+        if len(ndims) > 1:
+            per_task = ", ".join(f"task {r.task_id}: ndim {r.noise_scales.ndim}"
+                                 for r in self.records)
+            raise ValueError(
+                "noise scales mix vector (m, d) and scalar (m,) modes across "
+                f"records ({per_task}); store all tasks with the same "
+                "noise_mode")
         return np.concatenate(scales, axis=0)
 
     def all_targets(self) -> np.ndarray:

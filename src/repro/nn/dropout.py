@@ -11,6 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.nn.module import Module
+from repro.tensor import engine
 from repro.tensor.tensor import Tensor
 from repro.utils.rng import fallback_rng
 
@@ -26,6 +27,10 @@ class Dropout(Module):
     def forward(self, x: Tensor) -> Tensor:
         if not self.training or self.p == 0.0:
             return x
+        cap = engine.active_capture()
+        if cap is not None:
+            cap.mark_unsafe("Dropout draws a fresh mask every step; a tape "
+                            "would replay a frozen mask")
         keep = 1.0 - self.p
         mask = (self.rng.uniform(size=x.shape) < keep).astype(x.data.dtype) / keep
         return x * Tensor(mask)

@@ -13,7 +13,7 @@ import numpy as np
 
 from repro.nn.module import Module, Parameter
 from repro.tensor.tensor import Tensor
-from repro.tensor import ops
+from repro.tensor import engine, ops
 
 
 class _BatchNorm(Module):
@@ -27,20 +27,35 @@ class _BatchNorm(Module):
         self.register_buffer("running_mean", np.zeros(num_features, dtype=np.float32))
         self.register_buffer("running_var", np.ones(num_features, dtype=np.float32))
 
+    def _update_running_stats(self, mean: np.ndarray, var: np.ndarray,
+                              count: int) -> None:
+        """EMA update of the running statistics from one batch's mean/var.
+
+        Routed through ``batch_norm_train``'s ``stat_callback`` so a tape
+        replay (which skips this layer's Python code entirely) re-fires the
+        same update with the replayed batch statistics.
+        """
+        m = self.momentum
+        self._set_buffer("running_mean",
+                         ((1 - m) * self.running_mean + m * mean.reshape(-1)).astype(np.float32))
+        # unbiased variance for the running estimate, as torch does
+        unbias = count / max(count - 1, 1)
+        self._set_buffer("running_var",
+                         ((1 - m) * self.running_var + m * unbias * var.reshape(-1)).astype(np.float32))
+
     def _normalize(self, x: Tensor, axes: tuple[int, ...], shape: tuple[int, ...]) -> Tensor:
         if self.training:
             # Fused batch-norm kernel (one tape node); the batch statistics
-            # come back as plain arrays for the running-average update.
-            x_hat, mean, var = ops.batch_norm_train(x, axes, self.eps)
-            m = self.momentum
-            self._set_buffer("running_mean",
-                             ((1 - m) * self.running_mean + m * mean.reshape(-1)).astype(np.float32))
-            # unbiased variance for the running estimate, as torch does
+            # reach _update_running_stats through the stat callback.
             count = int(np.prod([x.shape[a] for a in axes]))
-            unbias = count / max(count - 1, 1)
-            self._set_buffer("running_var",
-                             ((1 - m) * self.running_var + m * unbias * var.reshape(-1)).astype(np.float32))
+            x_hat, _mean, _var = ops.batch_norm_train(
+                x, axes, self.eps,
+                stat_callback=lambda mean, var: self._update_running_stats(mean, var, count))
         else:
+            cap = engine.active_capture()
+            if cap is not None:
+                cap.mark_unsafe("eval-mode BatchNorm reads running stats the "
+                                "tape would bake in as constants")
             mean = Tensor(self.running_mean.reshape(shape))
             var = Tensor(self.running_var.reshape(shape))
             x_hat = (x - mean) / ops.sqrt(var + self.eps)

@@ -25,6 +25,10 @@ def knn_indices(queries: np.ndarray, pool: np.ndarray, k: int) -> np.ndarray:
     q2 = np.einsum("ij,ij->i", queries, queries)[:, None]
     p2 = np.einsum("ij,ij->i", pool, pool)[None, :]
     d2 = q2 + p2 - 2.0 * queries @ pool.T
+    # The expansion trick loses precision: for (near-)identical rows the
+    # cancellation can leave small negative values, whose ordering under
+    # argpartition is then cancellation noise rather than actual distance.
+    d2 = np.maximum(d2, 0.0)
     return np.argpartition(d2, k - 1, axis=1)[:, :k]
 
 

@@ -12,6 +12,7 @@ from repro.ssl.simsiam import SimSiam
 from repro.ssl.barlow import BarlowTwins
 from repro.ssl.byol import BYOL
 from repro.ssl.distill import DistillationHead
+from repro.ssl.step import SSLTrainStep
 from repro.ssl.vae import VAE, VAEObjective
 
 __all__ = [
@@ -21,6 +22,7 @@ __all__ = [
     "SimSiam",
     "BarlowTwins",
     "BYOL",
+    "SSLTrainStep",
     "VAE",
     "VAEObjective",
     "DistillationHead",

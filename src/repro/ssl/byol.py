@@ -20,7 +20,7 @@ import numpy as np
 from repro.nn.mlp import MLP
 from repro.ssl.base import CSSLObjective
 from repro.ssl.encoder import Encoder
-from repro.tensor import ops
+from repro.tensor import engine, ops
 from repro.tensor.tensor import Tensor, no_grad
 from repro.utils.rng import fallback_rng
 
@@ -52,6 +52,10 @@ class BYOL(CSSLObjective):
 
     def momentum_update(self) -> None:
         """``theta_target <- tau * theta_target + (1 - tau) * theta_online``."""
+        cap = engine.active_capture()
+        if cap is not None:
+            cap.mark_unsafe("BYOL's momentum update is a non-op side effect "
+                            "a tape replay would skip")
         online = dict(self.encoder.named_parameters())
         for name, target_param in self._target.named_parameters():
             # Sanctioned rebind: the EMA target is only ever run under

@@ -1,0 +1,67 @@
+"""The SSL training step as a reusable, tape-accelerated unit.
+
+The inner loop of every run is the same five lines: zero grads, compute
+``L_css`` on two views, backward, optimizer step.  :class:`SSLTrainStep`
+packages them so the loop body exists in exactly one place and — because
+the loop is shape-stable — can be driven through
+:class:`repro.tensor.tape.TapedFunction`: the first step per batch shape is
+captured, later steps replay the recorded program (bit-for-bit identical
+gradients, no Python dispatch or graph construction).  Objectives that
+cannot be taped (per-step randomness, non-op side effects) poison their
+first capture and the step silently stays eager.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ssl.base import CSSLObjective
+from repro.tensor.tape import TapedFunction
+
+
+class SSLTrainStep:
+    """One optimizer step of a CSSL objective over two augmented views.
+
+    Parameters
+    ----------
+    objective:
+        The live :class:`CSSLObjective`; its parameters must be the ones
+        ``optimizer`` updates.
+    optimizer:
+        Any ``repro.optim`` optimizer over ``objective.parameters()``.
+    use_tape:
+        Capture the forward+backward once per batch shape and replay it on
+        subsequent steps (default).  ``False`` forces eager dispatch.
+    """
+
+    def __init__(self, objective: CSSLObjective, optimizer,
+                 use_tape: bool = True):
+        self.objective = objective
+        self.optimizer = optimizer
+
+        def _forward_backward(x1: np.ndarray, x2: np.ndarray):
+            loss = objective.css_loss(x1, x2)
+            loss.backward()
+            return loss
+
+        self._forward_backward = (TapedFunction(_forward_backward, name="ssl-step")
+                                  if use_tape else _forward_backward)
+
+    @property
+    def taped(self) -> TapedFunction | None:
+        """The tape wrapper, or ``None`` when running pure eager."""
+        fb = self._forward_backward
+        return fb if isinstance(fb, TapedFunction) else None
+
+    def reset_tape(self) -> None:
+        """Drop cached tapes (call when the parameter set changes)."""
+        taped = self.taped
+        if taped is not None:
+            taped.reset()
+
+    def __call__(self, x1: np.ndarray, x2: np.ndarray) -> float:
+        """Run one step; returns the scalar loss value."""
+        self.optimizer.zero_grad(set_to_none=False)
+        loss = self._forward_backward(x1, x2)
+        self.optimizer.step()
+        return float(loss.data)

@@ -24,7 +24,7 @@ from repro.nn.mlp import MLP
 from repro.nn.module import Module
 from repro.ssl.base import CSSLObjective
 from repro.ssl.encoder import Encoder
-from repro.tensor import ops
+from repro.tensor import engine, ops
 from repro.tensor.tensor import Tensor, no_grad
 from repro.utils.rng import fallback_rng
 
@@ -66,6 +66,10 @@ class VAE(Module):
         """Negative ELBO: MSE reconstruction + KL(q(z|x) || N(0, I))."""
         if x.ndim > 2:
             x = x.reshape(x.shape[0], -1)
+        cap = engine.active_capture()
+        if cap is not None:
+            cap.mark_unsafe("the VAE reparameterization draws fresh noise "
+                            "every step; a tape would replay a frozen sample")
         mu, logvar = self.encode(x)
         epsilon = Tensor(rng.standard_normal(size=mu.shape).astype(np.float32))
         z = mu + ops.exp(logvar * 0.5) * epsilon

@@ -34,6 +34,7 @@ from repro.tensor.engine import (
     set_fusion,
 )
 from repro.tensor.tensor import Tensor, no_grad, is_grad_enabled, tensor
+from repro.tensor.tape import Tape, TapedFunction, capture
 from repro.tensor import ops
 from repro.tensor.ops import (
     concatenate,
@@ -60,8 +61,11 @@ __all__ = [
     "is_grad_enabled",
     "Context",
     "Op",
+    "Tape",
+    "TapedFunction",
     "apply",
     "apply_ctx",
+    "capture",
     "fusion_enabled",
     "get_op",
     "no_fusion",

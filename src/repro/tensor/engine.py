@@ -48,6 +48,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
 __all__ = [
     "Context",
     "Op",
+    "active_capture",
     "apply",
     "apply_ctx",
     "fusion_enabled",
@@ -57,6 +58,7 @@ __all__ = [
     "no_grad",
     "register",
     "registered_ops",
+    "registry_fingerprint",
     "result_dtype",
     "set_fusion",
 ]
@@ -162,16 +164,27 @@ class Op:
 
 _REGISTRY: dict[str, type[Op]] = {}
 
+# Bumped on every registration; (version, size) is the cheap O(1) identity a
+# captured tape pins so replay notices a registry that changed under it.
+_REGISTRY_VERSION = 0
+
 
 def register(cls: type[Op]) -> type[Op]:
     """Class decorator adding an :class:`Op` subclass to the registry."""
+    global _REGISTRY_VERSION
     if not cls.name:
         raise ValueError(f"op class {cls.__name__} must set a non-empty name")
     if cls.name in _REGISTRY:
         raise ValueError(f"op {cls.name!r} is already registered "
                          f"(by {_REGISTRY[cls.name].__name__})")
     _REGISTRY[cls.name] = cls
+    _REGISTRY_VERSION += 1
     return cls
+
+
+def registry_fingerprint() -> tuple[int, int]:
+    """An O(1) identity of the registry contents, for tape validity checks."""
+    return (_REGISTRY_VERSION, len(_REGISTRY))
 
 
 def get_op(name: str) -> type[Op]:
@@ -196,6 +209,18 @@ _TENSOR_CLS = None
 def _bind_tensor_class(cls) -> None:
     global _TENSOR_CLS
     _TENSOR_CLS = cls
+
+
+# The active tape capture (set by repro.tensor.tape.capture); apply_ctx
+# reports every dispatch to it, and layers with per-step randomness
+# (Dropout, the VAE sampler) poison it via mark_unsafe so a recorded
+# program with baked-in random constants is never replayed.
+_ACTIVE_CAPTURE = None
+
+
+def active_capture():
+    """The :class:`repro.tensor.tape.Tape` currently recording, or ``None``."""
+    return _ACTIVE_CAPTURE
 
 
 def result_dtype(inputs: Sequence["Tensor"]):
@@ -225,7 +250,7 @@ def apply_ctx(name: str, *inputs, **params):
     ordinary callers use :func:`apply`.
     """
     tensor_cls = _TENSOR_CLS
-    op = _REGISTRY[name]
+    op = get_op(name)
     tensors = tuple(t if isinstance(t, tensor_cls) else tensor_cls(t)
                     for t in inputs)
 
@@ -251,7 +276,13 @@ def apply_ctx(name: str, *inputs, **params):
         out._ctx = ctx
         out._inputs = tensors
     else:
+        # Nobody will run backward through this node: drop whatever the op
+        # stashed for it so eval / representation-extraction passes don't
+        # retain activation copies for the lifetime of the output tensor.
+        ctx.saved = ()
         out = tensor_cls(data, requires_grad=False)
+    if _ACTIVE_CAPTURE is not None:
+        _ACTIVE_CAPTURE.record_apply(name, op, tensors, params, out, ctx)
     return out, ctx
 
 

@@ -129,18 +129,32 @@ def linear_relu(x: Tensor, weight: Tensor, bias: Tensor | None = None) -> Tensor
     return relu(linear(x, weight, bias))
 
 
-def batch_norm_train(x: Tensor, axes: tuple[int, ...], eps: float):
+def batch_norm_train(x: Tensor, axes: tuple[int, ...], eps: float,
+                     stat_callback=None):
     """Train-mode batch normalization; returns ``(xhat, mean, var)``.
 
     ``mean``/``var`` are the batch statistics as plain keepdims arrays (for
-    running-stat updates), not tensors on the tape.
+    running-stat updates), not tensors on the tape.  ``stat_callback`` is
+    the running-stat update itself, called here as ``callback(mean, var)``
+    and — when a tape capture is active — registered as a replay hook so a
+    replayed step updates the running averages exactly like an eager one.
     """
     axes = tuple(axes)
     if engine.fusion_enabled():
         out, ctx = engine.apply_ctx("batch_norm", x, axes=axes, eps=eps)
+        if stat_callback is not None:
+            stat_callback(ctx.mean, ctx.var)
+            cap = engine.active_capture()
+            if cap is not None:
+                cap.record_stat_hook(stat_callback, ctx=ctx)
         return out, ctx.mean, ctx.var
     mean = x.mean(axis=axes, keepdims=True)
     centered = x - mean
     var = (centered * centered).mean(axis=axes, keepdims=True)
     xhat = centered / sqrt(var + eps)
+    if stat_callback is not None:
+        stat_callback(mean.data, var.data)
+        cap = engine.active_capture()
+        if cap is not None:
+            cap.record_stat_hook(stat_callback, tensors=(mean, var))
     return xhat, mean.data, var.data

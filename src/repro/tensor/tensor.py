@@ -225,6 +225,10 @@ class Tensor:
             grad = np.ones_like(self._data)
         grad = _as_array(grad, self._data.dtype)
 
+        capture = engine._ACTIVE_CAPTURE
+        if capture is not None:
+            capture.record_backward(self, grad)
+
         order: list[Tensor] = []
         seen: set[int] = set()
         stack: list[tuple[Tensor, bool]] = [(self, False)]

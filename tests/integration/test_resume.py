@@ -97,6 +97,56 @@ class TestKillAndResume:
         assert "checkpoint" not in kinds
 
 
+class TestTapedKillAndResume:
+    """PR 4 acceptance: kill-and-resume with ``use_tape`` enabled stays
+    bit-for-bit identical to the pure-eager run — tapes are rebuilt after
+    the restart, never serialized, and must not perturb any state."""
+
+    def test_taped_resume_is_bit_for_bit_vs_eager(self, fast_config,
+                                                  tiny_sequence, tmp_path):
+        assert fast_config.use_tape  # tape defaults on
+        eager = fresh_trainer("finetune",
+                              fast_config.with_overrides(use_tape=False),
+                              tiny_sequence)
+        expected = eager.run(tiny_sequence)
+
+        crashed = fresh_trainer("finetune", fast_config, tiny_sequence,
+                                checkpoint_dir=tmp_path)
+        crashed.run(tiny_sequence)
+        last = len(tiny_sequence) - 1
+        (tmp_path / f"ckpt-{last:05d}.json").unlink()
+        (tmp_path / f"ckpt-{last:05d}.npz").unlink()
+
+        resumed = fresh_trainer("finetune", fast_config, tiny_sequence,
+                                checkpoint_dir=tmp_path)
+        result = resumed.run(tiny_sequence, resume=True)
+
+        np.testing.assert_array_equal(result.accuracy_matrix,
+                                      expected.accuracy_matrix)
+        assert_same_weights(resumed.method, eager.method)
+        assert resumed._taped_step is not None
+        assert resumed._taped_step.stats["replays"] > 0
+
+    def test_taped_checkpoints_identical_to_eager_checkpoints(
+            self, fast_config, tiny_sequence, tmp_path):
+        eager_dir = tmp_path / "eager"
+        taped_dir = tmp_path / "taped"
+        fresh_trainer("finetune", fast_config.with_overrides(use_tape=False),
+                      tiny_sequence, checkpoint_dir=eager_dir).run(tiny_sequence)
+        fresh_trainer("finetune", fast_config, tiny_sequence,
+                      checkpoint_dir=taped_dir).run(tiny_sequence)
+
+        for task_index in range(len(tiny_sequence)):
+            name = f"ckpt-{task_index:05d}.npz"
+            with np.load(eager_dir / name) as eager_ck, \
+                    np.load(taped_dir / name) as taped_ck:
+                assert set(eager_ck.files) == set(taped_ck.files)
+                for key in eager_ck.files:
+                    np.testing.assert_array_equal(
+                        eager_ck[key], taped_ck[key],
+                        err_msg=f"{name}:{key}")
+
+
 class TestResumeValidation:
     def test_resume_without_checkpoint_dir_raises(self, fast_config,
                                                   tiny_sequence):

@@ -98,6 +98,30 @@ class TestBuffer:
         buffer.add(b)
         assert buffer.all_noise_scales().shape == (10, 4)
 
+    def test_mixed_noise_mode_records_raise_clearly(self):
+        # one task stored with vector (m, d) scales, another with scalar
+        # (m,): concatenation would either crash cryptically or silently
+        # broadcast; the buffer must name the offending tasks instead
+        buffer = MemoryBuffer(50, 5)
+        a = record(0)
+        a.noise_scales = np.ones((5, 4))
+        b = record(1)
+        b.noise_scales = np.ones(5)
+        buffer.add(a)
+        buffer.add(b)
+        with pytest.raises(ValueError, match="task 0.*task 1|vector.*scalar"):
+            buffer.all_noise_scales()
+
+    def test_scalar_noise_scales_concatenate(self):
+        buffer = MemoryBuffer(50, 5)
+        a = record(0)
+        a.noise_scales = np.ones(5)
+        b = record(1)
+        b.noise_scales = np.zeros(5)
+        buffer.add(a)
+        buffer.add(b)
+        assert buffer.all_noise_scales().shape == (10,)
+
 
 class TestBufferStateDict:
     def test_roundtrip_with_all_optional_fields(self):

@@ -35,6 +35,28 @@ class TestKNNIndices:
         idx = knn_indices(np.array([[0.4]]), pool, k=2)
         assert set(idx[0].tolist()) == {0, 1}
 
+    def test_duplicated_pool_rows_rank_as_exact_neighbours(self, rng):
+        # the expansion trick ||q||^2 + ||p||^2 - 2 q.p can go slightly
+        # negative for identical rows; without clamping, the resulting
+        # ordering of zero-distance duplicates is cancellation noise and a
+        # distant row can outrank an exact copy
+        base = rng.normal(size=(1, 16)) * 1e3
+        pool = np.concatenate([
+            np.repeat(base, 5, axis=0),   # five exact copies of the query
+            base + rng.normal(size=(30, 16)),
+        ], axis=0)
+        idx = knn_indices(base, pool, k=5)
+        assert set(idx[0].tolist()) == {0, 1, 2, 3, 4}
+
+    def test_distances_never_negative_for_identical_data(self, rng):
+        # regression guard for the clamp itself: all-duplicate pools must
+        # not crash argpartition ordering regardless of magnitude
+        row = (rng.normal(size=(1, 8)) * 1e4).astype(np.float64)
+        pool = np.repeat(row, 12, axis=0)
+        idx = knn_indices(pool, pool, k=3)
+        assert idx.shape == (12, 3)
+        assert np.all((idx >= 0) & (idx < 12))
+
 
 class TestNoiseScales:
     def test_k_zero_gives_zero_scales(self, rng):

@@ -1,0 +1,78 @@
+"""SSLTrainStep: the reusable tape-accelerated training step."""
+
+import numpy as np
+
+from repro.optim import SGD
+from repro.ssl import SSLTrainStep
+from repro.ssl.byol import BYOL
+from repro.ssl.encoder import Encoder, build_backbone
+from repro.ssl.simsiam import SimSiam
+from repro.tensor.tape import TapedFunction
+
+
+def build_objective(seed=0, input_dim=6, hidden=8, cls=SimSiam):
+    rng = np.random.default_rng(seed)
+    backbone = build_backbone("mlp", rng, input_dim=input_dim, hidden_dim=hidden)
+    return cls(Encoder(backbone, representation_dim=hidden, rng=rng), rng=rng)
+
+
+def make_step(use_tape, seed=0, cls=SimSiam):
+    objective = build_objective(seed=seed, cls=cls)
+    optimizer = SGD(objective.parameters(), lr=0.03, momentum=0.9)
+    return SSLTrainStep(objective, optimizer, use_tape=use_tape), objective
+
+
+def views(seed, n=4, batch=6, dim=6):
+    rng = np.random.default_rng(seed)
+    return [(rng.normal(size=(batch, dim)).astype(np.float32),
+             rng.normal(size=(batch, dim)).astype(np.float32))
+            for _ in range(n)]
+
+
+class TestSSLTrainStep:
+    def test_taped_matches_eager_bit_for_bit(self):
+        data = views(42)
+        eager_step, eager_obj = make_step(False)
+        taped_step, taped_obj = make_step(True)
+        eager_losses = [eager_step(v1, v2) for v1, v2 in data]
+        taped_losses = [taped_step(v1, v2) for v1, v2 in data]
+        assert eager_losses == taped_losses  # exact float equality
+        for (name, pe), (_n, pt) in zip(eager_obj.named_parameters(),
+                                        taped_obj.named_parameters()):
+            np.testing.assert_array_equal(pe.data, pt.data, err_msg=name)
+        stats = taped_step.taped.stats
+        assert stats["captures"] == 1
+        assert stats["replays"] == len(data) - 1
+
+    def test_use_tape_false_has_no_tape(self):
+        step, _ = make_step(False)
+        assert step.taped is None
+        step.reset_tape()  # no-op, must not raise
+
+    def test_reset_tape_drops_cache(self):
+        step, _ = make_step(True)
+        for v1, v2 in views(7, n=2):
+            step(v1, v2)
+        assert step.taped.tapes
+        step.reset_tape()
+        assert not step.taped.tapes
+        assert step.taped.enabled
+
+    def test_untapeable_objective_falls_back_to_eager(self):
+        # BYOL's momentum update poisons the first capture; the step must
+        # keep producing correct eager results from then on
+        data = views(3)
+        eager_step, eager_obj = make_step(False, cls=BYOL)
+        taped_step, taped_obj = make_step(True, cls=BYOL)
+        eager_losses = [eager_step(v1, v2) for v1, v2 in data]
+        taped_losses = [taped_step(v1, v2) for v1, v2 in data]
+        assert eager_losses == taped_losses
+        assert not taped_step.taped.enabled
+        assert "momentum" in taped_step.taped.disabled_reason
+        for (name, pe), (_n, pt) in zip(eager_obj.named_parameters(),
+                                        taped_obj.named_parameters()):
+            np.testing.assert_array_equal(pe.data, pt.data, err_msg=name)
+
+    def test_taped_is_the_wrapper(self):
+        step, _ = make_step(True)
+        assert isinstance(step.taped, TapedFunction)

@@ -61,6 +61,16 @@ class TestRegistry:
         assert not out.requires_grad
         assert out._parents == ()
 
+    def test_apply_unknown_op_raises_with_known_ops_hint(self):
+        # dispatch goes through get_op, not a bare _REGISTRY[name]: a typo
+        # must produce the curated error, not an opaque KeyError
+        with pytest.raises(KeyError, match="known ops"):
+            apply("definitely_not_an_op", np.ones(2, dtype=np.float32))
+
+    def test_apply_ctx_unknown_op_raises_with_known_ops_hint(self):
+        with pytest.raises(KeyError, match="known ops"):
+            apply_ctx("definitely_not_an_op", np.ones(2, dtype=np.float32))
+
 
 class TestContext:
     def test_needs_input_grad_mirrors_requires_grad(self):
@@ -75,6 +85,27 @@ class TestContext:
             out, ctx = apply_ctx("relu", a)
         assert ctx.needs_input_grad == (False,)
         assert not out.requires_grad
+
+    def test_no_grad_path_releases_saved_activations(self):
+        # nothing will run backward through this node, so whatever forward
+        # stashed on the context must be dropped immediately
+        a = Tensor(np.ones((4, 4), dtype=np.float32), requires_grad=True)
+        with engine.no_grad():
+            _out, ctx = apply_ctx("relu", a)
+        assert ctx.saved == ()
+
+    def test_non_grad_inputs_release_saved_activations(self):
+        # same release when no input requires grad at all (eval passes)
+        a = Tensor(np.ones((4, 4), dtype=np.float32))
+        b = Tensor(np.ones((4, 4), dtype=np.float32))
+        _out, ctx = apply_ctx("mul", a, b)
+        assert ctx.saved == ()
+
+    def test_grad_path_keeps_saved_activations(self):
+        a = Tensor(np.ones((4, 4), dtype=np.float32), requires_grad=True)
+        b = Tensor(np.ones((4, 4), dtype=np.float32))
+        _out, ctx = apply_ctx("mul", a, b)
+        assert ctx.saved != ()
 
     def test_saved_arrays_are_eager(self):
         # rebinding the input's .data after taping must not change backward

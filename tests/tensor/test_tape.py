@@ -1,0 +1,525 @@
+"""Tape capture/replay tests: recording, validity, poisoning, the
+TapedFunction lifecycle, and the bit-for-bit parity guarantee (including a
+hypothesis fuzz over random MLP/conv graphs, fused and unfused).
+"""
+
+import contextlib
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.conv import Conv2d
+from repro.nn.mlp import MLP
+from repro.nn.norm import BatchNorm1d, BatchNorm2d
+from repro.optim import SGD
+from repro.tensor import Tape, TapedFunction, Tensor, capture, engine, no_fusion, ops
+from repro.tensor.anomaly import detect_anomaly
+
+
+def _x(shape, seed=0):
+    return np.random.default_rng(seed).normal(size=shape).astype(np.float32)
+
+
+def _square_sum_loss(model):
+    """A loss whose gradients depend on the parameter values."""
+    def fn(x):
+        out = model(Tensor(x))
+        loss = (out * out).sum()
+        loss.backward()
+        return loss
+    return fn
+
+
+class TestCapture:
+    def test_records_ops_and_backward(self):
+        w = Tensor(np.ones((3, 2), dtype=np.float32), requires_grad=True)
+        x = _x((4, 3), seed=1)
+        with capture([x]) as tape:
+            loss = (Tensor(x) @ w).sum()
+            loss.backward()
+        assert tape.complete
+        assert len(tape.instructions) == 2  # matmul, sum
+        assert tape.schedule  # frozen backward order
+        assert tape.check([x]) is None
+
+    def test_captures_do_not_nest(self):
+        with capture():
+            with pytest.raises(RuntimeError, match="already active"):
+                with capture():
+                    pass
+
+    def test_capture_hook_cleared_on_error(self):
+        with contextlib.suppress(ValueError):
+            with capture():
+                raise ValueError("boom")
+        assert engine.active_capture() is None
+
+    def test_incomplete_without_backward(self):
+        x = _x((2, 2))
+        with capture([x]) as tape:
+            (Tensor(x) * 2.0).sum()
+        assert not tape.complete
+        assert "backward" in tape.check([x])
+
+
+class TestValidity:
+    def _complete_tape(self, x):
+        w = Tensor(np.ones((3, 3), dtype=np.float32), requires_grad=True)
+        with capture([x]) as tape:
+            ((Tensor(x) @ w) * (Tensor(x) @ w)).sum().backward()
+        return tape, w
+
+    def test_shape_drift_detected(self):
+        x = _x((4, 3))
+        tape, _w = self._complete_tape(x)
+        assert "drifted" in tape.check([_x((5, 3))])
+
+    def test_dtype_drift_detected(self):
+        x = _x((4, 3))
+        tape, _w = self._complete_tape(x)
+        assert "drifted" in tape.check([x.astype(np.float64)])
+
+    def test_input_count_drift_detected(self):
+        x = _x((4, 3))
+        tape, _w = self._complete_tape(x)
+        assert "inputs" in tape.check([x, x])
+
+    def test_fusion_flag_drift_detected(self):
+        x = _x((4, 3))
+        tape, _w = self._complete_tape(x)
+        with no_fusion():
+            assert "fusion" in tape.check([x])
+
+    def test_grad_flag_drift_detected(self):
+        x = _x((4, 3))
+        tape, _w = self._complete_tape(x)
+        with engine.no_grad():
+            assert "grad" in tape.check([x])
+
+    def test_anomaly_mode_blocks_replay(self):
+        x = _x((4, 3))
+        tape, _w = self._complete_tape(x)
+        with detect_anomaly():
+            assert "anomaly" in tape.check([x])
+
+    def test_registry_fingerprint_drift_detected(self):
+        x = _x((4, 3))
+        tape, _w = self._complete_tape(x)
+
+        @engine.register
+        class FingerprintBump(engine.Op):
+            name = "test_tape_fingerprint_bump"
+
+            @staticmethod
+            def forward(ctx, a):
+                return a
+
+            @staticmethod
+            def backward(ctx, grad):
+                return (grad,)
+
+        assert "registry" in tape.check([x])
+
+
+class TestPoisoning:
+    def test_dropout_poisons_capture(self):
+        from repro.nn.dropout import Dropout
+
+        layer = Dropout(0.5, rng=np.random.default_rng(0))
+        layer.train()
+        with capture() as tape:
+            layer(Tensor(_x((4, 4))))
+        assert tape.unsafe
+        assert "Dropout" in tape.unsafe_reason
+
+    def test_vae_reparameterization_poisons_capture(self):
+        from repro.ssl.vae import VAEObjective
+
+        objective = VAEObjective(6, 4, rng=np.random.default_rng(0))
+        x = _x((4, 6))
+        with capture([x]) as tape:
+            objective.css_loss(x, x)
+        assert tape.unsafe
+        assert "reparameterization" in tape.unsafe_reason
+
+    def test_byol_momentum_update_poisons_capture(self):
+        from repro.ssl.byol import BYOL
+        from repro.ssl.encoder import Encoder, build_backbone
+
+        rng = np.random.default_rng(0)
+        backbone = build_backbone("mlp", rng, input_dim=6, hidden_dim=8)
+        objective = BYOL(Encoder(backbone, representation_dim=8, rng=rng), rng=rng)
+        x = _x((4, 6))
+        with capture([x]) as tape:
+            objective.css_loss(x, x)
+        assert tape.unsafe
+        assert "momentum" in tape.unsafe_reason
+
+    def test_eval_batchnorm_poisons_capture(self):
+        bn = BatchNorm1d(3)
+        bn.eval()
+        with capture() as tape:
+            bn(Tensor(_x((4, 3))))
+        assert tape.unsafe
+        assert "eval-mode BatchNorm" in tape.unsafe_reason
+
+    def test_op_after_backward_poisons_capture(self):
+        w = Tensor(np.ones(3, dtype=np.float32), requires_grad=True)
+        with capture() as tape:
+            (w * w).sum().backward()
+            (w * 2.0).sum()
+        assert tape.unsafe
+        assert "after backward" in tape.unsafe_reason
+
+    def test_second_backward_poisons_capture(self):
+        w = Tensor(np.ones(3, dtype=np.float32), requires_grad=True)
+        with capture() as tape:
+            (w * w).sum().backward()
+            (w * w).sum()  # rebuilt graph, second backward
+        # the second sum() above is recorded; backward on it poisons
+        assert tape.unsafe
+
+    def test_backward_from_outside_graph_poisons_capture(self):
+        w = Tensor(np.ones(3, dtype=np.float32), requires_grad=True)
+        loss = (w * w).sum()  # built before the capture
+        with capture() as tape:
+            loss.backward()
+        assert tape.unsafe
+        assert "outside the capture" in tape.unsafe_reason
+
+    def test_anomaly_during_capture_poisons(self):
+        w = Tensor(np.ones(3, dtype=np.float32), requires_grad=True)
+        with capture() as tape:
+            with detect_anomaly():
+                (w * w).sum().backward()
+        assert tape.unsafe
+        assert "anomaly" in tape.unsafe_reason
+
+
+class TestReplayParity:
+    def _run_steps(self, use_tape, *, batch_norm, fused, n_steps=4,
+                   dims=(6, 8, 5), seed=3):
+        """Identically-seeded model+optimizer driven eager or taped."""
+        xs = [_x((5, dims[0]), seed=100 + i) for i in range(n_steps)]
+        ctx = contextlib.nullcontext() if fused else no_fusion()
+        with ctx:
+            model = MLP(list(dims), batch_norm=batch_norm,
+                        rng=np.random.default_rng(seed))
+            model.train()
+            optimizer = SGD(model.parameters(), lr=0.05, momentum=0.9)
+            fn = _square_sum_loss(model)
+            step = TapedFunction(fn) if use_tape else fn
+            losses = []
+            for x in xs:
+                optimizer.zero_grad(set_to_none=False)
+                loss = step(x)
+                optimizer.step()
+                losses.append(np.asarray(loss.data).copy())
+        return losses, model, (step if use_tape else None)
+
+    @pytest.mark.parametrize("fused", [True, False])
+    @pytest.mark.parametrize("batch_norm", [True, False])
+    def test_bit_for_bit_vs_eager(self, batch_norm, fused):
+        eager_losses, eager_model, _ = self._run_steps(
+            False, batch_norm=batch_norm, fused=fused)
+        taped_losses, taped_model, taped = self._run_steps(
+            True, batch_norm=batch_norm, fused=fused)
+
+        assert taped.stats["captures"] == 1
+        assert taped.stats["replays"] == len(taped_losses) - 1
+        np.testing.assert_array_equal(np.array(eager_losses),
+                                      np.array(taped_losses))
+        for (name, pe), (_n, pt) in zip(eager_model.named_parameters(),
+                                        taped_model.named_parameters()):
+            np.testing.assert_array_equal(pe.data, pt.data, err_msg=name)
+            np.testing.assert_array_equal(pe.grad, pt.grad, err_msg=name)
+        for key, ve in eager_model.state_dict().items():
+            np.testing.assert_array_equal(
+                ve, taped_model.state_dict()[key], err_msg=key)
+
+    def test_batchnorm_running_stats_advance_on_replay(self):
+        bn = BatchNorm1d(4)
+        bn.train()
+        w = Tensor(np.ones((4, 4), dtype=np.float32), requires_grad=True)
+
+        def fn(x):
+            loss = (bn(Tensor(x) @ w)).sum()
+            loss.backward()
+            return loss
+
+        step = TapedFunction(fn)
+        step(_x((6, 4), seed=0))
+        after_capture = bn.running_mean.copy()
+        step(_x((6, 4), seed=1))
+        assert step.stats["replays"] == 1
+        # a replay that skipped the stat hook would leave the stats frozen
+        assert not np.array_equal(bn.running_mean, after_capture)
+
+        bn2 = BatchNorm1d(4)
+        bn2.train()
+        w2 = Tensor(np.ones((4, 4), dtype=np.float32), requires_grad=True)
+        for seed in (0, 1):
+            (bn2(Tensor(_x((6, 4), seed=seed)) @ w2)).sum().backward()
+        np.testing.assert_array_equal(bn.running_mean, bn2.running_mean)
+        np.testing.assert_array_equal(bn.running_var, bn2.running_var)
+
+    def test_param_rebind_is_picked_up(self):
+        # SGD rebinds param.data each step; replay must read the new values.
+        w = Tensor(np.full((3, 3), 2.0, dtype=np.float32), requires_grad=True)
+        x = _x((4, 3), seed=5)
+
+        def fn(a):
+            out = Tensor(a) @ w
+            loss = (out * out).sum()
+            loss.backward()
+            return loss
+
+        step = TapedFunction(fn)
+        step(x)
+        w.data = np.full((3, 3), -1.5, dtype=np.float32)
+        w.zero_grad(set_to_none=False)
+        replayed = step(x)
+        assert step.stats["replays"] == 1
+        replay_grad = w.grad.copy()
+
+        w_ref = Tensor(np.full((3, 3), -1.5, dtype=np.float32), requires_grad=True)
+        out = Tensor(x) @ w_ref
+        eager = (out * out).sum()
+        eager.backward()
+        np.testing.assert_array_equal(replayed.data, eager.data)
+        np.testing.assert_array_equal(replay_grad, w_ref.grad)
+
+    def test_shared_storage_params_accumulate_separately(self):
+        arr = np.full(3, 2.0, dtype=np.float32)
+        a = Tensor(arr, requires_grad=True)
+        b = Tensor(arr, requires_grad=True)
+        with capture() as tape:
+            ((a * 3.0) + (b * 5.0)).sum().backward()
+        grad_a, grad_b = a.grad.copy(), b.grad.copy()
+        a.zero_grad(set_to_none=False)
+        b.zero_grad(set_to_none=False)
+        tape.replay([])
+        np.testing.assert_array_equal(a.grad, grad_a)
+        np.testing.assert_array_equal(b.grad, grad_b)
+        np.testing.assert_array_equal(a.grad, 3.0)
+        np.testing.assert_array_equal(b.grad, 5.0)
+
+
+class TestTapedFunction:
+    def _make(self, dims=(4, 6, 3), seed=9):
+        model = MLP(list(dims), batch_norm=False, rng=np.random.default_rng(seed))
+        model.train()
+        return model, TapedFunction(_square_sum_loss(model), name="unit")
+
+    def test_one_tape_per_signature(self):
+        _model, step = self._make()
+        step(_x((8, 4)))
+        step(_x((8, 4), seed=1))
+        step(_x((3, 4)))  # partial final batch gets its own tape
+        step(_x((3, 4), seed=1))
+        assert step.stats == {"captures": 2, "replays": 2, "eager": 0,
+                              "invalidations": 0}
+        assert len(step.tapes) == 2
+
+    def test_fusion_toggle_uses_separate_tapes(self):
+        _model, step = self._make()
+        x = _x((8, 4))
+        step(x)
+        with no_fusion():
+            step(x)
+            step(x)
+        step(x)
+        assert step.stats["captures"] == 2
+        assert step.stats["replays"] == 2
+        assert step.stats["invalidations"] == 0
+
+    def test_registry_change_invalidates_and_recaptures(self):
+        _model, step = self._make()
+        x = _x((8, 4))
+        step(x)
+
+        @engine.register
+        class InvalidationBump(engine.Op):
+            name = "test_taped_fn_invalidation_bump"
+
+            @staticmethod
+            def forward(ctx, a):
+                return a
+
+            @staticmethod
+            def backward(ctx, grad):
+                return (grad,)
+
+        step(x)
+        step(x)
+        assert step.stats["captures"] == 2
+        assert step.stats["invalidations"] == 1
+        assert step.stats["replays"] == 1
+
+    def test_unsafe_step_disables_permanently(self):
+        model = MLP([4, 6, 3], batch_norm=False, dropout=0.5,
+                    rng=np.random.default_rng(0))
+        model.train()
+        step = TapedFunction(_square_sum_loss(model))
+        x = _x((8, 4))
+        step(x)
+        assert not step.enabled
+        assert "Dropout" in step.disabled_reason
+        step(x)
+        assert step.stats == {"captures": 0, "replays": 0, "eager": 1,
+                              "invalidations": 0}
+        assert not step.tapes
+
+    def test_reset_reenables_and_drops_tapes(self):
+        _model, step = self._make()
+        x = _x((8, 4))
+        step(x)
+        assert step.tapes
+        step.enabled = False
+        step.disabled_reason = "forced"
+        step.reset()
+        assert step.enabled and step.disabled_reason is None
+        assert not step.tapes
+
+    def test_eager_under_no_grad(self):
+        calls = []
+
+        def forward_only(x):
+            calls.append(x.shape)
+            return Tensor(x).sum()
+
+        step = TapedFunction(forward_only)
+        with engine.no_grad():
+            step(_x((2, 2)))
+        assert step.stats["eager"] == 1
+        assert not step.tapes
+
+    def test_eager_inside_active_capture(self):
+        w = Tensor(np.ones(2, dtype=np.float32), requires_grad=True)
+
+        def fn(x):
+            loss = (w * Tensor(x)).sum()
+            loss.backward()
+            return loss
+
+        step = TapedFunction(fn)
+        with capture() as outer:
+            step(_x((2,)))
+        assert step.stats["eager"] == 1
+        # the outer capture recorded the dispatches instead
+        assert outer.instructions
+
+    def test_returns_tensor_on_replay(self):
+        _model, step = self._make()
+        x = _x((8, 4))
+        first = step(x)
+        second = step(x.copy())
+        assert isinstance(second, type(first))
+        np.testing.assert_array_equal(first.data, second.data)
+
+
+# ----------------------------------------------------------------------
+# Property-based fuzz: replay is bit-for-bit eager on random graphs
+# ----------------------------------------------------------------------
+def _assert_parity(build_model, xs, fused):
+    """Drive identically-seeded models eager vs taped; everything bitwise."""
+    results = {}
+    for use_tape in (False, True):
+        with contextlib.nullcontext() if fused else no_fusion():
+            model, fn = build_model()
+            optimizer = SGD(model.parameters(), lr=0.05, momentum=0.9)
+            step = TapedFunction(fn) if use_tape else fn
+            losses = []
+            for x in xs:
+                optimizer.zero_grad(set_to_none=False)
+                losses.append(np.asarray(step(x).data).copy())
+                optimizer.step()
+            results[use_tape] = (losses, model,
+                                 step if use_tape else None)
+    eager_losses, eager_model, _ = results[False]
+    taped_losses, taped_model, taped = results[True]
+    assert taped.stats["captures"] >= 1
+    assert taped.stats["replays"] >= 1
+    np.testing.assert_array_equal(np.array(eager_losses), np.array(taped_losses))
+    for (name, pe), (_n, pt) in zip(eager_model.named_parameters(),
+                                    taped_model.named_parameters()):
+        np.testing.assert_array_equal(pe.data, pt.data, err_msg=name)
+        np.testing.assert_array_equal(pe.grad, pt.grad, err_msg=name)
+    for key, value in eager_model.state_dict().items():
+        np.testing.assert_array_equal(value, taped_model.state_dict()[key],
+                                      err_msg=key)
+
+
+class TestFuzzParity:
+    @settings(max_examples=20, deadline=None)
+    @given(depth=st.integers(1, 3), width=st.integers(2, 8),
+           batch=st.integers(2, 5), batch_norm=st.booleans(),
+           fused=st.booleans(), n_steps=st.integers(2, 4),
+           seed=st.integers(0, 2**16))
+    def test_random_mlp_graphs(self, depth, width, batch, batch_norm, fused,
+                               n_steps, seed):
+        rng = np.random.default_rng(seed)
+        dims = [int(rng.integers(2, 9))] + [width] * depth
+        xs = [rng.normal(size=(batch, dims[0])).astype(np.float32)
+              for _ in range(n_steps)]
+
+        def build():
+            model = MLP(dims, batch_norm=batch_norm,
+                        rng=np.random.default_rng(seed + 1))
+            model.train()
+            return model, _square_sum_loss(model)
+
+        _assert_parity(build, xs, fused)
+
+    @settings(max_examples=10, deadline=None)
+    @given(channels=st.integers(1, 3), out_channels=st.integers(1, 4),
+           batch=st.integers(2, 4), batch_norm=st.booleans(),
+           fused=st.booleans(), seed=st.integers(0, 2**16))
+    def test_random_conv_graphs(self, channels, out_channels, batch,
+                                batch_norm, fused, seed):
+        rng = np.random.default_rng(seed)
+        xs = [rng.normal(size=(batch, channels, 5, 5)).astype(np.float32)
+              for _ in range(3)]
+
+        def build():
+            init = np.random.default_rng(seed + 1)
+
+            class ConvNet:
+                def __init__(self):
+                    self.conv = Conv2d(channels, out_channels, kernel_size=3,
+                                       padding=1, rng=init)
+                    self.bn = BatchNorm2d(out_channels) if batch_norm else None
+
+                def parameters(self):
+                    params = self.conv.parameters()
+                    if self.bn is not None:
+                        params = params + self.bn.parameters()
+                    return params
+
+                def named_parameters(self):
+                    named = list(self.conv.named_parameters())
+                    if self.bn is not None:
+                        named += list(self.bn.named_parameters())
+                    return named
+
+                def state_dict(self):
+                    state = dict(self.conv.state_dict())
+                    if self.bn is not None:
+                        state.update({f"bn.{k}": v
+                                      for k, v in self.bn.state_dict().items()})
+                    return state
+
+                def __call__(self, x):
+                    out = ops.relu(self.conv(x))
+                    if self.bn is not None:
+                        out = self.bn(out)
+                    return out
+
+            net = ConvNet()
+            if net.bn is not None:
+                net.bn.train()
+            return net, _square_sum_loss(net)
+
+        _assert_parity(build, xs, fused)

@@ -43,6 +43,13 @@ class TestBenchSmoke:
         # the pre-refactor reference is full-shape only; smoke must not
         # pretend to compare against it
         assert "speedup_vs_pre_refactor" not in ssl
+        tape = report["tape"]
+        assert tape["eager"]["median_s"] > 0.0
+        assert tape["replay"]["median_s"] > 0.0
+        assert tape["speedup_replay_vs_eager"] > 0.0
+        # the 1.3x tape bar is likewise full-shape only
+        assert "required_speedup" not in tape
+        assert "tape replay" in out
 
     def test_run_suite_smoke_is_json_serializable(self):
         report = run_suite(smoke=True, repeats=1)
@@ -55,4 +62,19 @@ class TestBenchSmoke:
         payload = json.loads(baseline.read_text(encoding="utf-8"))
         ssl = payload["ssl_step"]
         assert ssl["pre_refactor_reference"] == PRE_REFACTOR_REFERENCE
+        assert ssl["speedup_vs_pre_refactor"] >= ssl["required_speedup"]
+
+    def test_committed_pr4_baseline_passes_tape_bar(self):
+        import pathlib
+
+        from repro.bench import TAPE_REQUIRED_SPEEDUP
+
+        baseline = pathlib.Path(__file__).resolve().parents[1] / "BENCH_pr4.json"
+        payload = json.loads(baseline.read_text(encoding="utf-8"))
+        tape = payload["tape"]
+        assert payload["mode"] == "full"
+        assert tape["required_speedup"] == TAPE_REQUIRED_SPEEDUP
+        assert tape["speedup_replay_vs_eager"] >= tape["required_speedup"]
+        # the PR 3 SSL-step bar must still hold on the new engine
+        ssl = payload["ssl_step"]
         assert ssl["speedup_vs_pre_refactor"] >= ssl["required_speedup"]
