@@ -12,6 +12,8 @@ Codes
   (:class:`HotLoopDtypeRule`)
 - ``TAPE001`` — op dispatch bypassing ``apply_ctx``'s capture hook
   (:class:`TapeBypassRule`)
+- ``MP001`` — shard-result summation bypassing the fixed-order tree
+  reduction (:class:`ShardReductionRule`)
 """
 
 from __future__ import annotations
@@ -19,6 +21,7 @@ from __future__ import annotations
 from repro.analysis.rules.api import ExportHygieneRule
 from repro.analysis.rules.autograd import InplaceMutationRule, LateBindingClosureRule
 from repro.analysis.rules.determinism import SeedlessRNGRule
+from repro.analysis.rules.multiprocess import ShardReductionRule
 from repro.analysis.rules.perf import HotLoopDtypeRule
 from repro.analysis.rules.serialization import StateDictSerializableRule
 from repro.analysis.rules.tape import TapeBypassRule
@@ -29,6 +32,7 @@ __all__ = [
     "InplaceMutationRule",
     "LateBindingClosureRule",
     "SeedlessRNGRule",
+    "ShardReductionRule",
     "StateDictSerializableRule",
     "TapeBypassRule",
     "default_rules",
@@ -37,7 +41,7 @@ __all__ = [
 
 _RULE_CLASSES = (SeedlessRNGRule, InplaceMutationRule, LateBindingClosureRule,
                  ExportHygieneRule, StateDictSerializableRule, HotLoopDtypeRule,
-                 TapeBypassRule)
+                 TapeBypassRule, ShardReductionRule)
 
 
 def default_rules():

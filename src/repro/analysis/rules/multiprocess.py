@@ -1,0 +1,95 @@
+"""MP001 — shard results must be combined by the tree-reduce helpers.
+
+Float addition is not associative, so in the sharded regime the *order* of
+gradient summation is part of the numerical contract: the bit-for-bit
+worker-count-independence of ``repro.parallel`` holds only because every
+shard contribution flows through :func:`repro.parallel.reduce.tree_reduce`
+(or its wrappers), whose pairwise schedule is a fixed function of the shard
+count.  An ad-hoc ``sum``/``np.sum``/``+=`` over shard gradients — say, a
+worker accumulating results in delivery order — would be numerically
+*plausible* (same values, last-ulp differences) and therefore survive every
+``allclose`` test while silently breaking the parity guarantee.
+
+The rule polices :mod:`repro.parallel` itself: outside ``reduce.py`` (the
+one module allowed to sum shard results), it flags
+
+1. reduction calls — builtin ``sum``/``fsum``, any ``.sum(...)`` method or
+   ``np.sum``/``np.add`` call;
+2. additive updates of gradient-named values — ``+=`` targets or binary
+   ``+`` operands whose dotted name mentions ``grad``.
+
+Code in the package with a legitimate non-gradient summation can annotate
+the line with ``# repro-lint: disable=MP001``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.linter import LintRule, ModuleSource, Violation
+
+#: The one module allowed to sum shard results — it *is* the helper.
+_EXEMPT_FILE = "reduce.py"
+
+_SUM_NAMES = {"sum", "fsum"}
+
+
+def _dotted(node: ast.expr) -> str:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = _dotted(node.value)
+        return f"{base}.{node.attr}" if base else node.attr
+    return ""
+
+
+def _is_reduction_call(node: ast.Call) -> bool:
+    func = node.func
+    if isinstance(func, ast.Name) and func.id in _SUM_NAMES:
+        return True
+    if isinstance(func, ast.Attribute):
+        if func.attr in _SUM_NAMES:
+            return True
+        if func.attr == "add" and _dotted(func.value) in {"np", "numpy"}:
+            return True
+    return False
+
+
+def _mentions_grad(node: ast.expr) -> bool:
+    return "grad" in _dotted(node).lower()
+
+
+class ShardReductionRule(LintRule):
+    code = "MP001"
+    description = ("shard-result summation outside repro.parallel.reduce — "
+                   "bypasses the fixed-order tree reduction")
+
+    def check(self, module: ModuleSource) -> Iterator[Violation]:
+        parts = module.package_parts
+        if "parallel" not in parts[:-1] or module.path.name == _EXEMPT_FILE:
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call) and _is_reduction_call(node):
+                yield self.violation(
+                    module, node.lineno,
+                    "reduction call in the parallel package; combine shard "
+                    "results with repro.parallel.reduce.tree_reduce / "
+                    "reduce_gradients — an ad-hoc sum has no fixed order "
+                    "and silently breaks bit-for-bit worker-count parity")
+            elif isinstance(node, ast.AugAssign) \
+                    and isinstance(node.op, ast.Add) \
+                    and _mentions_grad(node.target):
+                yield self.violation(
+                    module, node.lineno,
+                    f"additive gradient update "
+                    f"`{_dotted(node.target)} += ...`; accumulation order "
+                    f"must be fixed — route it through "
+                    f"repro.parallel.reduce (tree_reduce/accumulate_into)")
+            elif isinstance(node, ast.BinOp) and isinstance(node.op, ast.Add) \
+                    and (_mentions_grad(node.left) or _mentions_grad(node.right)):
+                yield self.violation(
+                    module, node.lineno,
+                    "gradient addition outside repro.parallel.reduce; the "
+                    "fixed-order tree reduction is the only sanctioned way "
+                    "to combine shard gradients")

@@ -2,18 +2,22 @@
 
 ``python -m repro bench`` runs the suite; see :mod:`repro.bench.suites`
 for what is measured and :mod:`repro.bench.harness` for how.  The committed
-baseline lives in ``BENCH_pr3.json`` at the repo root.
+baselines live at the repo root (``BENCH_pr3.json``, ``BENCH_pr4.json``,
+``BENCH_pr5.json``).
 """
 
 from repro.bench.harness import BenchTiming, speedup, time_callable
 from repro.bench.suites import (
     PRE_REFACTOR_REFERENCE,
     REQUIRED_SPEEDUP,
+    SHARDING_BENCH_WORKERS,
+    SHARDING_REQUIRED_SPEEDUP,
     TAPE_REQUIRED_SPEEDUP,
     build_ssl_step,
     format_report,
     op_microbenches,
     run_suite,
+    sharding_bench,
     ssl_step_bench,
     tape_replay_bench,
 )
@@ -21,12 +25,15 @@ from repro.bench.suites import (
 __all__ = [
     "PRE_REFACTOR_REFERENCE",
     "REQUIRED_SPEEDUP",
+    "SHARDING_BENCH_WORKERS",
+    "SHARDING_REQUIRED_SPEEDUP",
     "TAPE_REQUIRED_SPEEDUP",
     "BenchTiming",
     "build_ssl_step",
     "format_report",
     "op_microbenches",
     "run_suite",
+    "sharding_bench",
     "speedup",
     "ssl_step_bench",
     "tape_replay_bench",

@@ -17,12 +17,13 @@ Commands
 ``list``     show available benchmarks, methods, selection strategies,
              replay losses, and objectives;
 ``lint``     run the repo-specific static analysis (DET001/AD001/AD002/
-             API001/SER001/PERF001/TAPE001) plus the gradcheck-coverage
+             API001/SER001/PERF001/TAPE001/MP001) plus the gradcheck-coverage
              audit; exits non-zero on any violation (see ``repro.analysis``);
 ``bench``    run the op-registry microbenchmarks (fused-vs-unfused kernels,
-             the SSL training-step bench, and the tape eager-vs-replay
-             bench); ``--output`` writes the JSON report, ``--smoke`` runs
-             a sub-second variant for CI.
+             the SSL training-step bench, the tape eager-vs-replay bench,
+             and the serial-vs-multiprocess sharded-step bench);
+             ``--output`` writes the JSON report, ``--smoke`` runs a
+             sub-second variant for CI.
 """
 
 from __future__ import annotations
@@ -51,7 +52,7 @@ def _config_from_args(args: argparse.Namespace) -> ContinualConfig:
     overrides = {}
     for field in ("epochs", "batch_size", "lr", "memory_budget", "replay_batch_size",
                   "noise_neighbors", "selection", "replay_loss", "objective",
-                  "replay_sampling", "use_tape"):
+                  "replay_sampling", "use_tape", "workers"):
         value = getattr(args, field, None)
         if value is not None:
             overrides[field] = value
@@ -114,6 +115,11 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
                         const=False, default=None,
                         help="disable tape capture/replay of the training "
                              "step (force eager dispatch)")
+    parser.add_argument("--workers", type=int,
+                        help="enter the sharded data-parallel regime with N "
+                             "processes (bit-for-bit identical for every N; "
+                             "1 runs the shard program serially; default: "
+                             "classic single-process step)")
     parser.add_argument("--scale", default="ci", choices=["ci", "paper"])
     parser.add_argument("--n-tasks", dest="n_tasks", type=int)
     parser.add_argument("--seed", type=int, default=0)
@@ -247,6 +253,10 @@ def _command_bench(args: argparse.Namespace) -> int:
     tape = report.get("tape", {})
     if "required_speedup" in tape \
             and tape["speedup_replay_vs_eager"] < tape["required_speedup"]:
+        return 1
+    sharding = report.get("sharding", {})
+    if "required_speedup" in sharding \
+            and sharding["speedup_sharded_vs_serial"] < sharding["required_speedup"]:
         return 1
     return 0
 

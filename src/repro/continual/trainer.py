@@ -16,6 +16,13 @@ Fault tolerance (``repro.runtime``) threads through the same loop:
   exploding gradients, and autograd anomalies, recovering by an escalating
   ladder: skip batch → restore the task-start state with LR backoff →
   abort with a structured failure report (:class:`TrainingDiverged`).
+
+With ``config.workers`` set, shard-safe methods run each batch through the
+sharded regime (``repro.parallel``): fixed micro-shards, broadcast state,
+fixed-order tree all-reduce into the same leaf ``.grad`` buffers.  Results
+are bit-for-bit identical for every worker count; a worker dying mid-step
+surfaces as a ``WorkerFailure`` that enters the guardrail ladder like any
+other poisoned batch.
 """
 
 from __future__ import annotations
@@ -35,6 +42,7 @@ from repro.data.splits import TaskSequence
 from repro.eval.metrics import ContinualResult
 from repro.eval.protocol import evaluate_tasks
 from repro.optim import SGD, Adam, ConstantLR, CosineLR
+from repro.parallel import N_SHARDS, ShardedStep, WorkerFailure
 from repro.runtime.checkpoint import CheckpointError, CheckpointManager
 from repro.runtime.guardrail import (GuardrailPolicy, GuardrailViolation,
                                      RunLog, TrainingDiverged,
@@ -106,6 +114,8 @@ class ContinualTrainer:
         self.verbose = verbose
         self.guardrails = guardrails
         self._taped_step: TapedFunction | None = None
+        self._sharded_step: ShardedStep | None = None
+        self._shard_active = False
         self.checkpoints = None
         log_path = None
         if checkpoint_dir is not None:
@@ -148,8 +158,14 @@ class ContinualTrainer:
                          result: ContinualResult) -> None:
         if self.checkpoints is None:
             return
+        meta = None
+        if self.config.workers is not None:
+            # Informational only: the sharded regime's results are
+            # worker-count independent, so resume never reads this.
+            meta = {"workers": self.config.workers, "n_shards": N_SHARDS}
         path = self.checkpoints.save(
-            task_index, self._run_state(task_index, n_tasks, result))
+            task_index, self._run_state(task_index, n_tasks, result),
+            meta=meta)
         self.log.append("checkpoint", task_index=task_index, path=str(path))
 
     # ------------------------------------------------------------------
@@ -179,18 +195,25 @@ class ContinualTrainer:
                           f"{start_task}/{n_tasks} from {loaded.path.name}")
 
         start = time.perf_counter()
-        for task_index, task in enumerate(sequence):
-            if task_index < start_task:
-                continue
-            self._run_task(task, task_index, n_tasks)
-            accuracies = evaluate_tasks(method.objective, list(sequence)[:task_index + 1],
-                                        knn_k=config.knn_k)
-            result.record_row(accuracies)
-            result.elapsed_seconds = prior_elapsed + (time.perf_counter() - start)
-            self._save_checkpoint(task_index, n_tasks, result)
-            if self.verbose:
-                print(f"[{method.name}] task {task_index + 1}/{n_tasks}: "
-                      f"Acc={result.acc_at(task_index):.4f} Fgt={result.fgt_at(task_index):.4f}")
+        try:
+            for task_index, task in enumerate(sequence):
+                if task_index < start_task:
+                    continue
+                self._run_task(task, task_index, n_tasks)
+                accuracies = evaluate_tasks(method.objective,
+                                            list(sequence)[:task_index + 1],
+                                            knn_k=config.knn_k)
+                result.record_row(accuracies)
+                result.elapsed_seconds = prior_elapsed + (time.perf_counter() - start)
+                self._save_checkpoint(task_index, n_tasks, result)
+                if self.verbose:
+                    print(f"[{method.name}] task {task_index + 1}/{n_tasks}: "
+                          f"Acc={result.acc_at(task_index):.4f} Fgt={result.fgt_at(task_index):.4f}")
+        finally:
+            if self._sharded_step is not None:
+                self._sharded_step.close()
+                self._sharded_step = None
+            self._shard_active = False
 
         result.elapsed_seconds = prior_elapsed + (time.perf_counter() - start)
         return result
@@ -204,11 +227,34 @@ class ContinualTrainer:
         policy = self.guardrails
         method.augment = _build_augment(config, task.train.x)
 
+        # Sharded regime: engages only when the config asks for it, the
+        # method is shard-safe, and guardrails don't require per-op anomaly
+        # inspection (the shards run out of process, beyond its reach).
+        # Ineligibility falls back to the classic step with a logged reason,
+        # never an error — semantics stay identical either way.
+        self._shard_active = False
+        if config.workers is not None:
+            reason = None
+            if not method.shard_safe:
+                reason = f"method {method.name!r} is not shard-safe"
+            elif policy is not None and policy.anomaly_mode:
+                reason = "guardrail anomaly mode requires eager in-process dispatch"
+            if reason is not None:
+                self.log.append("shard-fallback", task_index=task_index,
+                                detail=reason)
+            else:
+                if self._sharded_step is None:
+                    self._sharded_step = ShardedStep(
+                        method.objective, config, task.train.x.shape[1:],
+                        workers=config.workers, use_tape=config.use_tape)
+                self._shard_active = True
+
         # Fresh tape per task: the trainable parameter set (heads, frozen
         # backbones) can change at task boundaries, and a stale tape would
-        # fail its validity check every batch anyway.
+        # fail its validity check every batch anyway.  The sharded step
+        # tapes per shard shape inside its executors instead.
         self._taped_step = None
-        if config.use_tape and method.tape_safe:
+        if config.use_tape and method.tape_safe and not self._shard_active:
             self._taped_step = TapedFunction(self._eager_loss_backward,
                                              name=f"{method.name}-step")
 
@@ -226,7 +272,13 @@ class ContinualTrainer:
             if restores:
                 optimizer.lr *= policy.lr_backoff ** restores
             schedule = _build_schedule(config, optimizer)
-            loader = DataLoader(task.train, config.batch_size, shuffle=True, rng=self.rng)
+            # One draw keys every epoch's shuffle: the order becomes a pure
+            # function of (seed, epoch) instead of the trainer RNG's rolling
+            # state, so iteration order can never drift with worker count or
+            # with how much RNG the steps in between consumed.
+            loader_seed = int(self.rng.integers(2 ** 63))
+            loader = DataLoader(task.train, config.batch_size, shuffle=True,
+                                seed=loader_seed)
             method.objective.train()
 
             if self._train_task_epochs(loader, schedule, optimizer, task_index):
@@ -256,6 +308,7 @@ class ContinualTrainer:
         skips = 0
         for epoch in range(config.epochs):
             schedule.step(epoch)
+            loader.set_epoch(epoch)
             for batch_index, (x_batch, _y_batch) in enumerate(loader):
                 event = self._guarded_step(x_batch, optimizer, task_index,
                                            epoch, batch_index)
@@ -275,12 +328,17 @@ class ContinualTrainer:
         return loss
 
     def _loss_backward(self, view1, view2, x_batch):
-        """Forward + backward, replayed from the step tape when valid.
+        """Forward + backward, sharded or tape-replayed when eligible.
 
-        All three batch arrays are declared as tape inputs so the validity
-        check covers them even when ``batch_loss`` ignores ``x_batch``.
-        Gradients land in the same leaf ``.grad`` buffers either way.
+        All three dispatch targets land gradients in the same leaf
+        ``.grad`` buffers.  The sharded step only engages for shard-safe
+        methods, whose ``batch_loss`` ignores ``x_batch`` by definition.
+        For the taped path all three batch arrays are declared as tape
+        inputs so the validity check covers them even when ``batch_loss``
+        ignores ``x_batch``.
         """
+        if self._shard_active:
+            return self._sharded_step.loss_backward(view1, view2)
         if self._taped_step is not None:
             return self._taped_step(view1, view2, x_batch)
         return self._eager_loss_backward(view1, view2, x_batch)
@@ -321,6 +379,14 @@ class ContinualTrainer:
         except GuardrailViolation as exc:
             optimizer.zero_grad()
             return self._skip_event(exc.kind, exc, task_index, epoch, batch_index)
+        except WorkerFailure as exc:
+            # A worker died/hung/raised mid-step.  The pool has already
+            # respawned dead workers; the gradients are unusable, so this
+            # batch enters the ladder like any other poisoned batch:
+            # skip → (budget exhausted) restore → abort.
+            optimizer.zero_grad()
+            return self._skip_event("worker-failure", exc, task_index, epoch,
+                                    batch_index)
 
         norm = global_grad_norm(optimizer.parameters)
         if not np.isfinite(norm) or (policy.max_grad_norm is not None

@@ -21,20 +21,50 @@ class DataLoader:
         Mini-batch size; the final short batch is kept unless
         ``drop_last`` is set.
     shuffle:
-        Reshuffle at the start of each iteration using ``rng``.
+        Reshuffle at the start of each iteration.
     rng:
         Explicit generator — loaders never touch global numpy state.
+        Stateful: each iteration consumes a draw, so the order depends on
+        everything else that shared the generator first.
+    seed:
+        Stateless alternative to ``rng`` (takes precedence when set): the
+        shuffle order is a pure function of ``(seed, epoch)`` — see
+        :meth:`set_epoch` — and of nothing else.  This is what the sharded
+        training regime requires: any process can reproduce the exact
+        iteration order from the two integers alone, so iteration can
+        never drift with worker count or with unrelated RNG consumption.
     """
 
     def __init__(self, dataset: ArrayDataset, batch_size: int, shuffle: bool = True,
-                 drop_last: bool = False, rng: np.random.Generator | None = None):
+                 drop_last: bool = False, rng: np.random.Generator | None = None,
+                 seed: int | None = None):
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
+        if seed is not None and seed < 0:
+            raise ValueError("seed must be a non-negative integer")
         self.dataset = dataset
         self.batch_size = batch_size
         self.shuffle = shuffle
         self.drop_last = drop_last
         self.rng = rng or fallback_rng()
+        self.seed = seed
+        self._epoch = 0
+
+    def set_epoch(self, epoch: int) -> None:
+        """Select the epoch whose (seed-keyed) shuffle order to produce.
+
+        Only meaningful with ``seed``; epoch ``e`` always yields the same
+        permutation, whatever was iterated (or drawn from any generator)
+        before.
+        """
+        self._epoch = int(epoch)
+
+    def _order(self, n: int) -> np.ndarray:
+        if not self.shuffle:
+            return np.arange(n)
+        if self.seed is not None:
+            return np.random.default_rng((self.seed, self._epoch)).permutation(n)
+        return self.rng.permutation(n)
 
     def __len__(self) -> int:
         n = len(self.dataset)
@@ -44,7 +74,7 @@ class DataLoader:
 
     def __iter__(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
         n = len(self.dataset)
-        order = self.rng.permutation(n) if self.shuffle else np.arange(n)
+        order = self._order(n)
         stop = n - n % self.batch_size if self.drop_last else n
         for start in range(0, stop, self.batch_size):
             idx = order[start:start + self.batch_size]

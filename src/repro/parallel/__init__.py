@@ -1,0 +1,41 @@
+"""Multiprocess data-parallel sharding with bit-for-bit determinism.
+
+The repo's first concurrency layer.  Each training batch is split into a
+fixed number of micro-shards (:func:`shard_plan` — a pure function of the
+batch size, never of the worker count), every shard runs forward+backward
+from the same broadcast model state, and the per-shard gradients are
+all-reduced in a fixed binary-tree order (:func:`tree_reduce`) into the
+stable leaf ``.grad`` buffers.  Because the shard decomposition, the
+per-shard programs, and the reduction schedule are all worker-count
+independent, runs with 1, 2, or 3 workers produce bit-for-bit identical
+weights, gradients, and checkpoints — the property ``tests/parallel``
+enforces and DESIGN.md derives.
+
+Layout
+------
+- :mod:`repro.parallel.reduce` — shard planning + deterministic reduction
+  (the only module allowed to sum gradients; lint rule MP001);
+- :mod:`repro.parallel.worker` — the per-shard executor and the worker
+  process loop;
+- :mod:`repro.parallel.pool` — persistent worker pool with failure
+  detection and respawn;
+- :mod:`repro.parallel.step` — :class:`ShardedStep`, the trainer-facing
+  broadcast → shard → all-reduce engine.
+"""
+
+from repro.parallel.pool import WorkerFailure, WorkerPool
+from repro.parallel.reduce import (N_SHARDS, shard_plan, shard_weights,
+                                   tree_reduce)
+from repro.parallel.step import ShardedStep
+from repro.parallel.worker import ShardExecutor
+
+__all__ = [
+    "N_SHARDS",
+    "ShardExecutor",
+    "ShardedStep",
+    "WorkerFailure",
+    "WorkerPool",
+    "shard_plan",
+    "shard_weights",
+    "tree_reduce",
+]

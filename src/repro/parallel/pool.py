@@ -1,0 +1,242 @@
+"""A persistent pool of shard workers with failure detection and respawn.
+
+Workers are long-lived processes (one :class:`ShardExecutor` each) fed over
+dedicated pipes; a step broadcasts the current parameter/buffer state and a
+round-robin assignment of micro-shards, then collects per-shard results.
+
+Failure handling is the point of this module: a worker that dies (killed,
+OOM, crashed interpreter) or stops answering within ``timeout`` seconds is
+detected on the next send/receive, every dead worker is respawned so the
+*next* step can proceed, and the step raises :class:`WorkerFailure` — the
+trainer maps that onto the PR-2 guardrail ladder (skip batch → restore +
+LR backoff → abort) instead of hanging on a silent pipe.  A worker that
+merely reports an exception (``("err", ...)``) stays alive and is not
+respawned; its traceback rides along in the failure.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+
+from repro.parallel.worker import worker_main
+
+__all__ = ["WorkerFailure", "WorkerPool"]
+
+#: Seconds a step waits on one worker before declaring it hung.
+DEFAULT_TIMEOUT = 120.0
+
+
+class WorkerFailure(RuntimeError):
+    """A worker died, hung, or raised while evaluating its shards.
+
+    The step's gradients are unusable; callers discard them and escalate
+    (guardrail ladder) or propagate.  The pool has already respawned any
+    dead workers, so retrying the next batch is safe.
+    """
+
+    def __init__(self, reason: str, shard_ids: tuple[int, ...] = ()):
+        detail = f" (shards {list(shard_ids)} lost)" if shard_ids else ""
+        super().__init__(f"{reason}{detail}")
+        self.reason = reason
+        self.shard_ids = shard_ids
+
+
+def _pick_context() -> multiprocessing.context.BaseContext:
+    """Fork when the platform offers it (fast, no pickling of the model
+    builder), spawn otherwise."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn")
+
+
+class WorkerPool:
+    """``n_workers`` persistent shard executors behind pipes.
+
+    Parameters
+    ----------
+    n_workers:
+        Process count (>= 1; a 1-worker pool is mainly useful in tests —
+        serial execution without processes is
+        :class:`repro.parallel.step.ShardedStep`'s job).
+    config, sample_shape, use_tape:
+        Forwarded to each worker's :class:`~repro.parallel.worker.ShardExecutor`.
+    timeout:
+        Seconds to wait for one worker's step reply before declaring it hung.
+    """
+
+    def __init__(self, n_workers: int, config, sample_shape,
+                 use_tape: bool = True, timeout: float = DEFAULT_TIMEOUT):
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        self.n_workers = n_workers
+        self.config = config
+        self.sample_shape = tuple(sample_shape)
+        self.use_tape = use_tape
+        self.timeout = timeout
+        self._ctx = _pick_context()
+        self._step_id = 0
+        self.processes: list = [None] * n_workers
+        self._conns: list = [None] * n_workers
+        self.respawns = 0
+        for index in range(n_workers):
+            self._spawn(index)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def _spawn(self, index: int) -> None:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(
+            target=worker_main,
+            args=(child_conn, self.config, self.sample_shape, self.use_tape),
+            name=f"repro-shard-worker-{index}", daemon=True)
+        process.start()
+        child_conn.close()
+        self.processes[index] = process
+        self._conns[index] = parent_conn
+
+    def _respawn_dead(self) -> list[int]:
+        """Replace every dead worker; returns the indices respawned."""
+        replaced = []
+        for index, process in enumerate(self.processes):
+            if process is not None and process.is_alive():
+                continue
+            if self._conns[index] is not None:
+                self._conns[index].close()
+            self._spawn(index)
+            self.respawns += 1
+            replaced.append(index)
+        return replaced
+
+    def close(self) -> None:
+        """Stop every worker; terminate any that ignore the request."""
+        for conn in self._conns:
+            if conn is None:
+                continue
+            try:
+                conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+        for process in self.processes:
+            if process is None:
+                continue
+            process.join(timeout=5.0)
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=5.0)
+        for conn in self._conns:
+            if conn is not None:
+                conn.close()
+        self.processes = [None] * self.n_workers
+        self._conns = [None] * self.n_workers
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # One step
+    # ------------------------------------------------------------------
+    def run_step(self, params, buffers, shard_views):
+        """Evaluate every micro-shard across the pool; collate by shard id.
+
+        Parameters
+        ----------
+        params:
+            Per-parameter arrays of the live model (broadcast to workers).
+        buffers:
+            Named buffer values of the live model (broadcast to workers).
+        shard_views:
+            ``[(view1, view2), ...]`` indexed by shard id; shard 0 also
+            reports its post-forward buffers (the shard that owns
+            running-stat updates in the sharded regime).
+
+        Returns
+        -------
+        ``(losses, grads, shard0_buffers)`` — ``losses[k]`` and
+        ``grads[k]`` keyed by shard id, collated so downstream reduction
+        is independent of delivery order.
+
+        Raises
+        ------
+        WorkerFailure
+            If any worker died, hung past ``timeout``, or raised.  Dead
+            workers are respawned before the exception propagates.
+        """
+        self._step_id += 1
+        step_id = self._step_id
+        assignment: dict[int, list] = {w: [] for w in range(self.n_workers)}
+        for shard_id, (view1, view2) in enumerate(shard_views):
+            worker = shard_id % self.n_workers
+            assignment[worker].append(
+                (shard_id, view1, view2, shard_id == 0))
+
+        busy = []
+        failures = []
+        for worker, jobs in assignment.items():
+            if not jobs:
+                continue
+            try:
+                self._conns[worker].send(
+                    ("step", step_id, params, buffers, jobs))
+                busy.append(worker)
+            except (BrokenPipeError, OSError):
+                failures.append((worker, jobs, "died before dispatch"))
+
+        losses: dict[int, object] = {}
+        grads: dict[int, list] = {}
+        shard0_buffers = None
+        deadline = time.monotonic() + self.timeout
+        for worker in busy:
+            jobs = assignment[worker]
+            reply = self._receive(worker, step_id, deadline)
+            if not isinstance(reply, tuple):
+                failures.append((worker, jobs, str(reply)))
+                continue
+            _kind, _step, results = reply
+            for shard_id, loss, shard_grads, out_buffers in results:
+                losses[shard_id] = loss
+                grads[shard_id] = shard_grads
+                if out_buffers is not None:
+                    shard0_buffers = out_buffers
+
+        if failures:
+            self._respawn_dead()
+            lost = tuple(sorted(
+                shard_id for _w, jobs, _r in failures
+                for shard_id, *_rest in jobs))
+            reasons = "; ".join(
+                f"worker {w}: {reason}" for w, _j, reason in failures)
+            raise WorkerFailure(reasons, shard_ids=lost)
+        return losses, grads, shard0_buffers
+
+    class _Failed(str):
+        """Sentinel reply carrying a failure reason."""
+
+    def _receive(self, worker: int, step_id: int, deadline: float):
+        """One worker's step reply, or a ``_Failed`` reason string."""
+        conn = self._conns[worker]
+        process = self.processes[worker]
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                return self._Failed(f"no reply within {self.timeout:.0f}s")
+            try:
+                if not conn.poll(min(remaining, 0.05)):
+                    if not process.is_alive():
+                        return self._Failed(
+                            f"died mid-step (exitcode {process.exitcode})")
+                    continue
+                reply = conn.recv()
+            except (EOFError, BrokenPipeError, OSError):
+                return self._Failed(
+                    f"pipe closed mid-step (exitcode {process.exitcode})")
+            kind = reply[0]
+            if kind == "err":
+                return self._Failed(f"raised during step: {reply[2]}")
+            if kind == "ok" and reply[1] == step_id:
+                return reply
+            # Stale reply from an aborted earlier step: drain and keep waiting.

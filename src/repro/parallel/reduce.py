@@ -1,0 +1,142 @@
+"""Deterministic shard planning and tree-reduction of gradients.
+
+This module is the *only* place in :mod:`repro.parallel` allowed to sum
+shard results (lint rule MP001 polices the rest of the package).  Both
+halves of the bit-for-bit story live here:
+
+- :func:`shard_plan` decomposes a batch into micro-shards as a pure
+  function of the batch size — never of the worker count — so every run
+  of the sharded regime executes the identical per-shard programs no
+  matter how many processes it is spread over;
+- :func:`tree_reduce` combines per-shard contributions pairwise in a
+  fixed binary-tree order indexed by *shard id*.  Float addition is not
+  associative, so the reduction order is part of the numerical contract:
+  as long as results are slotted by shard id before reduction, the order
+  in which workers *deliver* them cannot change a single bit.
+
+The reduction tree for six shards::
+
+    s0   s1   s2   s3   s4   s5
+      \\  /      \\  /      \\  /
+      s01       s23       s45
+         \\      /           |
+          s0123            s45
+               \\          /
+                s012345            (odd node passes through unchanged)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "N_SHARDS",
+    "accumulate_into",
+    "reduce_gradients",
+    "shard_plan",
+    "shard_weights",
+    "tree_reduce",
+]
+
+#: Micro-shards per batch in the sharded regime.  Divisible by 1, 2 and 3
+#: so the supported worker counts all balance; fixed (rather than derived
+#: from the worker count) because the shard decomposition defines the
+#: numerics — changing it changes the regime, changing workers must not.
+N_SHARDS = 6
+
+
+def shard_plan(batch_size: int, n_shards: int = N_SHARDS) -> list[slice]:
+    """Contiguous micro-shard slices covering ``range(batch_size)``.
+
+    A pure function of ``(batch_size, n_shards)``: the first
+    ``batch_size % n_shards`` shards get one extra sample, and batches
+    smaller than ``n_shards`` produce ``batch_size`` single-sample shards
+    (never an empty shard).
+    """
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    if n_shards < 1:
+        raise ValueError("n_shards must be >= 1")
+    n_shards = min(n_shards, batch_size)
+    base, extra = divmod(batch_size, n_shards)
+    plan: list[slice] = []
+    start = 0
+    for index in range(n_shards):
+        size = base + (1 if index < extra else 0)
+        plan.append(slice(start, start + size))
+        start += size
+    return plan
+
+
+def shard_weights(plan: list[slice], batch_size: int) -> list[np.float32]:
+    """Per-shard loss/gradient weights ``len(shard) / batch_size``.
+
+    The sharded batch loss is the weighted sum of per-shard mean losses,
+    so its gradient is the same weighted sum of per-shard gradients.  The
+    weights are float32 scalars: the scaling is part of the fixed-order
+    float32 program, identical in serial and multiprocess execution.
+    """
+    return [np.float32((s.stop - s.start) / batch_size) for s in plan]
+
+
+def tree_reduce(values: list[np.ndarray]) -> np.ndarray:
+    """Sum ``values`` pairwise in a fixed binary-tree order.
+
+    ``values`` must be ordered by shard id.  Level by level, element ``2i``
+    is added to element ``2i + 1``; an odd trailing element passes through
+    unchanged.  The schedule depends only on ``len(values)``, so any two
+    executions over the same shard decomposition — one process or many,
+    whatever the completion order — add the same numbers in the same order.
+    """
+    if not values:
+        raise ValueError("tree_reduce needs at least one value")
+    level = list(values)
+    while len(level) > 1:
+        paired = [level[i] + level[i + 1] for i in range(0, len(level) - 1, 2)]
+        if len(level) % 2:
+            paired.append(level[-1])
+        level = paired
+    return level[0]
+
+
+def reduce_gradients(shard_grads: dict[int, list[np.ndarray]],
+                     weights: list[np.float32]) -> list[np.ndarray]:
+    """All-reduce per-shard gradient lists into one list of batch gradients.
+
+    ``shard_grads`` maps shard id to that shard's per-parameter gradients
+    (every shard must be present; arrival order is irrelevant because the
+    reduction iterates shard ids ``0..K-1``).  Each parameter slot is
+    scaled by its shard weight and combined with :func:`tree_reduce`.
+    """
+    n_shards = len(weights)
+    missing = [k for k in range(n_shards) if k not in shard_grads]
+    if missing:
+        raise ValueError(f"missing gradients for shard(s) {missing}")
+    reduced: list[np.ndarray] = []
+    n_params = len(shard_grads[0])
+    for slot in range(n_params):
+        scaled = [weights[k] * shard_grads[k][slot] for k in range(n_shards)]
+        reduced.append(tree_reduce(scaled))
+    return reduced
+
+
+def accumulate_into(parameters, reduced: list[np.ndarray]) -> None:
+    """Accumulate reduced batch gradients into the live leaf ``.grad`` buffers.
+
+    Mirrors the engine's leaf accumulation: an existing buffer (stable
+    under ``zero_grad(set_to_none=False)``) is added into in place, a
+    missing one is assigned.
+    """
+    if len(parameters) != len(reduced):
+        raise ValueError(
+            f"{len(reduced)} reduced gradients for {len(parameters)} parameters")
+    for param, grad in zip(parameters, reduced):
+        if grad.dtype != param.data.dtype:
+            grad = grad.astype(param.data.dtype)
+        buf = param.grad
+        if buf is None:
+            param.grad = grad
+        elif buf.shape == grad.shape and buf.dtype == grad.dtype:
+            np.add(buf, grad, out=buf)
+        else:
+            param.grad = buf + grad

@@ -1,0 +1,146 @@
+"""The sharded training step: broadcast → per-shard fwd+bwd → tree all-reduce.
+
+:class:`ShardedStep` is what the trainer drives when a run sets
+``ContinualConfig.workers``.  One call to :meth:`loss_backward` is the
+sharded-regime equivalent of "loss forward + backward" on a full batch:
+
+1. the batch's two views are split by :func:`~repro.parallel.reduce.shard_plan`
+   into micro-shards (a pure function of the batch size — never of the
+   worker count);
+2. the live model's parameters and buffers are broadcast, and every shard
+   runs forward+backward from that same state — serially in-process with
+   one worker, round-robin across a :class:`~repro.parallel.pool.WorkerPool`
+   otherwise;
+3. per-shard gradients are collated by shard id and combined with the
+   fixed-order tree reduction, then accumulated into the live leaf
+   ``.grad`` buffers exactly as an eager backward would;
+4. the batch loss (the same weighted tree-reduction over shard losses) is
+   returned as a graph-free scalar Tensor for the guardrail screens.
+
+Because steps 1, 3 and 4 depend only on the batch and steps 2's per-shard
+programs depend only on the broadcast state and the shard's arrays, the
+result is bit-for-bit identical for every worker count — the property the
+``tests/parallel`` parity harness enforces.
+
+Running statistics (BatchNorm) cannot follow the eager full-batch rule in a
+sharded regime (each shard normalizes with its own statistics), so the
+regime defines them as *shard 0's*: shard 0 reports its post-forward buffer
+values and they are written back to the live model.  Worker-count
+independent, and applied identically by the serial reference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.parallel.pool import WorkerFailure, WorkerPool
+from repro.parallel.reduce import (N_SHARDS, accumulate_into, reduce_gradients,
+                                   shard_plan, shard_weights, tree_reduce)
+from repro.parallel.worker import ShardExecutor, _assign_buffers, _collect_buffers
+from repro.tensor.tensor import Tensor
+
+__all__ = ["ShardedStep", "WorkerFailure"]
+
+
+class ShardedStep:
+    """Data-parallel forward+backward over micro-shards of each batch.
+
+    Parameters
+    ----------
+    objective:
+        The live CSSL objective whose leaf ``.grad`` buffers receive the
+        reduced gradients (the optimizer steps this model, exactly as in
+        the single-process path).
+    config:
+        The run configuration; worker replicas are rebuilt from it.
+    sample_shape:
+        Per-sample input shape (no batch dimension).
+    workers:
+        Process count.  ``1`` executes the same per-shard program serially
+        in this process (the parity reference); ``>= 2`` spreads shards
+        over a persistent :class:`WorkerPool`.
+    use_tape:
+        Tape-capture each shard shape once and replay it on later steps.
+    n_shards:
+        Micro-shards per batch (default :data:`N_SHARDS`).  Part of the
+        numerical regime: every worker count must use the same value.
+    timeout:
+        Seconds to wait on a worker before treating it as hung.
+    """
+
+    def __init__(self, objective, config, sample_shape, workers: int = 1,
+                 use_tape: bool = True, n_shards: int = N_SHARDS,
+                 timeout: float | None = None):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.objective = objective
+        self.parameters = objective.parameters()
+        self.workers = workers
+        self.n_shards = n_shards
+        self.stats = {"steps": 0, "shards": 0}
+        self.pool: WorkerPool | None = None
+        self.executor: ShardExecutor | None = None
+        if workers > 1:
+            kwargs = {} if timeout is None else {"timeout": timeout}
+            self.pool = WorkerPool(workers, config, sample_shape,
+                                   use_tape=use_tape, **kwargs)
+        else:
+            self.executor = ShardExecutor(config, sample_shape,
+                                          use_tape=use_tape)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        if self.pool is not None:
+            self.pool.close()
+
+    def __enter__(self) -> "ShardedStep":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # One batch
+    # ------------------------------------------------------------------
+    def loss_backward(self, view1: np.ndarray, view2: np.ndarray) -> Tensor:
+        """Sharded forward+backward; gradients land in the live ``.grad``.
+
+        Returns the batch loss (weighted tree-reduction of shard losses)
+        as a graph-free scalar Tensor.  Raises :class:`WorkerFailure` if a
+        worker dies/hangs/raises — gradients are then unusable and the
+        caller discards them (``optimizer.zero_grad``) and escalates.
+        """
+        if len(view1) != len(view2):
+            raise ValueError(
+                f"view batches disagree: {len(view1)} vs {len(view2)}")
+        plan = shard_plan(len(view1), self.n_shards)
+        weights = shard_weights(plan, len(view1))
+        params = [p.data for p in self.parameters]
+        buffers = _collect_buffers(self.objective)
+
+        if self.pool is not None:
+            shard_views = [(view1[piece], view2[piece]) for piece in plan]
+            losses, grads, shard0_buffers = self.pool.run_step(
+                params, buffers, shard_views)
+        else:
+            losses, grads, shard0_buffers = {}, {}, None
+            for shard_id, piece in enumerate(plan):
+                loss, shard_grads, out_buffers = self.executor.run_shard(
+                    view1[piece], view2[piece], params, buffers,
+                    want_buffers=shard_id == 0)
+                losses[shard_id] = loss
+                grads[shard_id] = shard_grads
+                if out_buffers is not None:
+                    shard0_buffers = out_buffers
+
+        reduced = reduce_gradients(grads, weights)
+        accumulate_into(self.parameters, reduced)
+        if shard0_buffers:
+            _assign_buffers(self.objective, shard0_buffers)
+        loss_value = tree_reduce(
+            [weights[k] * losses[k] for k in range(len(plan))])
+        self.stats["steps"] += 1
+        self.stats["shards"] += len(plan)
+        return Tensor(np.float32(loss_value))

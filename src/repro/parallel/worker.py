@@ -1,0 +1,151 @@
+"""The per-shard execution unit and the worker-process main loop.
+
+A :class:`ShardExecutor` owns a model replica built from the run config
+and evaluates one micro-shard at a time: load the step-start parameters
+and buffers, zero the replica's gradients, run forward+backward on the
+shard's two views, and hand back the loss, the leaf gradients, and (when
+asked) the post-forward buffer values.  Because every shard starts from
+the same broadcast state, a shard's result depends only on its input
+arrays — not on which process (or which previously executed shard)
+produced it.  That is the whole parity argument: serial execution and any
+worker assignment run identical per-shard programs.
+
+Shard shapes are stable across steps, so the executor drives its
+forward+backward through :class:`repro.tensor.tape.TapedFunction` when
+``use_tape`` is set — the first occurrence of each shard shape is
+captured, later ones replay the recorded program (bit-for-bit identical
+gradients, by the tape contract).
+
+:func:`worker_main` wraps an executor in a request/reply loop over a
+``multiprocessing`` pipe.  The protocol is deliberately tiny:
+
+- ``("step", step_id, params, buffers, jobs)`` where ``jobs`` is a list of
+  ``(shard_id, view1, view2, want_buffers)`` → ``("ok", step_id, results)``
+  with ``results = [(shard_id, loss, grads, buffers-or-None), ...]``;
+- ``("stop",)`` → clean exit.
+
+Any exception inside a step is reported as ``("err", step_id, detail)``
+instead of killing the process, so the parent can escalate through the
+guardrail ladder rather than diagnosing a dead pipe.
+"""
+
+from __future__ import annotations
+
+import traceback
+
+import numpy as np
+
+from repro.tensor.tape import TapedFunction
+
+__all__ = ["ShardExecutor", "worker_main"]
+
+
+def _collect_buffers(module) -> dict[str, np.ndarray]:
+    """Copy every registered buffer (BatchNorm running stats) by name."""
+    return {name: np.array(buf, copy=True)
+            for name, buf in module.named_buffers()}
+
+
+def _assign_buffers(module, values: dict[str, np.ndarray], prefix: str = "") -> None:
+    """Write named buffer values into a module tree (copies, in order)."""
+    for name in list(module._buffers):
+        module._set_buffer(name, values[prefix + name].copy())
+    for name, child in module._modules.items():
+        _assign_buffers(child, values, prefix + name + ".")
+
+
+class ShardExecutor:
+    """A model replica that evaluates micro-shards from broadcast state.
+
+    Parameters
+    ----------
+    config:
+        The run's :class:`~repro.continual.config.ContinualConfig`; the
+        replica is rebuilt from it (initial values are irrelevant — every
+        shard loads the step-start parameters before running).
+    sample_shape:
+        Per-sample input shape (no batch dimension), as accepted by
+        :func:`repro.continual.config.build_objective`.
+    use_tape:
+        Drive the shard forward+backward through a per-shape tape.
+    """
+
+    def __init__(self, config, sample_shape: tuple[int, ...],
+                 use_tape: bool = True):
+        # Imported lazily: repro.continual imports repro.parallel (via the
+        # trainer), so a top-level import here would be circular.
+        from repro.continual.config import build_objective
+
+        self.objective = build_objective(
+            config, tuple(sample_shape), np.random.default_rng(0))
+        self.objective.train()
+        self.parameters = self.objective.parameters()
+
+        def _forward_backward(v1: np.ndarray, v2: np.ndarray):
+            loss = self.objective.css_loss(v1, v2)
+            loss.backward()
+            return loss
+
+        self._forward_backward = (
+            TapedFunction(_forward_backward, name="shard-step")
+            if use_tape else _forward_backward)
+
+    def load_state(self, params: list[np.ndarray],
+                   buffers: dict[str, np.ndarray]) -> None:
+        """Reset the replica to the broadcast step-start state."""
+        if len(params) != len(self.parameters):
+            raise ValueError(
+                f"got {len(params)} parameter arrays, replica has "
+                f"{len(self.parameters)} parameters")
+        for param, value in zip(self.parameters, params):
+            # Sanctioned rebind (same as Module.load_state_dict): the
+            # broadcast value replaces the replica's array outside any
+            # live graph; the version counter records it.
+            param.data = value  # repro-lint: disable=AD001
+        _assign_buffers(self.objective, buffers)
+
+    def run_shard(self, view1: np.ndarray, view2: np.ndarray,
+                  params: list[np.ndarray], buffers: dict[str, np.ndarray],
+                  want_buffers: bool = False):
+        """Evaluate one micro-shard from the broadcast state.
+
+        Returns ``(loss, grads, buffers)`` where ``loss`` is the shard's
+        scalar mean loss (float32), ``grads`` the per-parameter leaf
+        gradients (copies, in ``parameters()`` order), and ``buffers`` the
+        post-forward buffer values when ``want_buffers`` else ``None``.
+        """
+        self.load_state(params, buffers)
+        self.objective.zero_grad(set_to_none=False)
+        loss = self._forward_backward(view1, view2)
+        grads = [p.grad.copy() for p in self.parameters]
+        out_buffers = _collect_buffers(self.objective) if want_buffers else None
+        return np.float32(loss.data), grads, out_buffers
+
+
+def worker_main(conn, config, sample_shape, use_tape: bool) -> None:
+    """Request/reply loop run inside each worker process."""
+    executor = ShardExecutor(config, sample_shape, use_tape=use_tape)
+    try:
+        while True:
+            message = conn.recv()
+            kind = message[0]
+            if kind == "stop":
+                return
+            if kind != "step":
+                conn.send(("err", None, f"unknown message kind {kind!r}"))
+                continue
+            _kind, step_id, params, buffers, jobs = message
+            try:
+                results = []
+                for shard_id, view1, view2, want_buffers in jobs:
+                    loss, grads, out_buffers = executor.run_shard(
+                        view1, view2, params, buffers,
+                        want_buffers=want_buffers)
+                    results.append((shard_id, loss, grads, out_buffers))
+                conn.send(("ok", step_id, results))
+            except Exception:  # noqa: BLE001 - report, don't die
+                conn.send(("err", step_id, traceback.format_exc(limit=20)))
+    except (EOFError, KeyboardInterrupt):  # parent went away
+        return
+    finally:
+        conn.close()

@@ -21,6 +21,13 @@ The state trees being checkpointed are the nested dicts produced by the
 be ndarrays (non-object dtype), plain Python scalars, strings, ``None``, or
 lists/tuples/dicts thereof.  :func:`check_serializable` is the runtime
 enforcement of that contract (lint rule SER001 is the static sibling).
+
+Execution topology is deliberately **not** part of the state: a manifest may
+carry an informational ``meta`` mapping (worker count, shard count — see
+``ContinualConfig.workers``), but restoring a checkpoint never reads it.
+The sharded regime's results are worker-count independent by construction,
+so a run checkpointed under ``--workers 3`` resumes bit-for-bit under
+``--workers 1`` and vice versa.
 """
 
 from __future__ import annotations
@@ -150,6 +157,9 @@ class LoadedCheckpoint:
     state: dict
     path: pathlib.Path
     skipped: list[str] = field(default_factory=list)
+    #: Informational run metadata (e.g. worker count); never used to
+    #: restore state — resume is execution-topology independent.
+    meta: dict = field(default_factory=dict)
 
 
 class CheckpointManager:
@@ -186,8 +196,15 @@ class CheckpointManager:
         return f"{stem}.npz", f"{stem}.json"
 
     # -- write ----------------------------------------------------------
-    def save(self, task_index: int, state: dict) -> pathlib.Path:
-        """Atomically write ``state`` as the checkpoint for ``task_index``."""
+    def save(self, task_index: int, state: dict,
+             meta: dict | None = None) -> pathlib.Path:
+        """Atomically write ``state`` as the checkpoint for ``task_index``.
+
+        ``meta`` is an optional JSON-safe mapping recorded in the manifest
+        for humans and tooling (e.g. ``{"workers": 3}``); loading ignores
+        it when restoring state, so runs stay resumable under a different
+        execution topology.
+        """
         tree, arrays = flatten_state(state)
         arrays_name, manifest_name = self._names(task_index)
         arrays_path = self.directory / arrays_name
@@ -206,6 +223,12 @@ class CheckpointManager:
             "checksums": {key: _array_checksum(a) for key, a in arrays.items()},
             "tree": tree,
         }
+        if meta:
+            meta_arrays: dict[str, np.ndarray] = {}
+            manifest["meta"] = _flatten(meta, "meta", meta_arrays)
+            if meta_arrays:
+                raise TypeError("checkpoint meta must be JSON-only "
+                                "(ndarrays belong in the state tree)")
         manifest_path = self.directory / manifest_name
         atomic_write_bytes(manifest_path,
                            json.dumps(manifest, indent=1).encode("utf-8"))
@@ -222,7 +245,7 @@ class CheckpointManager:
             stale_arrays.unlink(missing_ok=True)
 
     # -- read -----------------------------------------------------------
-    def _load_manifest(self, manifest_path: pathlib.Path) -> tuple[int, dict]:
+    def _load_manifest(self, manifest_path: pathlib.Path) -> tuple[int, dict, dict]:
         try:
             manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
         except (OSError, json.JSONDecodeError) as exc:
@@ -247,7 +270,7 @@ class CheckpointManager:
                 raise CheckpointError(
                     f"checksum mismatch for array {key!r} in {arrays_path.name}")
         state = unflatten_state(manifest["tree"], arrays)
-        return int(manifest["task_index"]), state
+        return int(manifest["task_index"]), state, manifest.get("meta") or {}
 
     def load_latest(self) -> LoadedCheckpoint | None:
         """Newest checkpoint that passes validation, or ``None`` if none do.
@@ -258,10 +281,11 @@ class CheckpointManager:
         skipped: list[str] = []
         for manifest_path in reversed(self.manifest_paths()):
             try:
-                task_index, state = self._load_manifest(manifest_path)
+                task_index, state, meta = self._load_manifest(manifest_path)
             except CheckpointError as exc:
                 skipped.append(f"{manifest_path.name}: {exc}")
                 continue
             return LoadedCheckpoint(task_index=task_index, state=state,
-                                    path=manifest_path, skipped=skipped)
+                                    path=manifest_path, skipped=skipped,
+                                    meta=meta)
         return None

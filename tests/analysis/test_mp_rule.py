@@ -1,0 +1,114 @@
+"""MP001 — shard-reduction bypass rule tests.
+
+The rule scopes itself to the ``parallel`` package (minus ``reduce.py``,
+which *is* the sanctioned reduction helper) and flags ad-hoc summation:
+``sum``/``np.sum``/``np.add``/``.sum()`` calls, ``+=`` on gradient-named
+targets, and ``+`` over gradient-named operands — any of which would break
+the fixed-order tree reduction that bit-for-bit parity rests on.
+"""
+
+import textwrap
+
+from repro.analysis import lint_file
+from repro.analysis.rules import ShardReductionRule
+
+
+def write(path, source):
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return path
+
+
+def codes(violations):
+    return [v.code for v in violations]
+
+
+class TestScope:
+    def test_ignores_files_outside_the_parallel_package(self, tmp_path):
+        path = write(tmp_path / "optim" / "sgd.py", """\
+            def total(grads):
+                return sum(grads)
+        """)
+        assert lint_file(path, [ShardReductionRule()]) == []
+
+    def test_reduce_module_itself_is_exempt(self, tmp_path):
+        path = write(tmp_path / "parallel" / "reduce.py", """\
+            import numpy as np
+
+            def tree_reduce(values):
+                return np.add(values[0], values[1])
+        """)
+        assert lint_file(path, [ShardReductionRule()]) == []
+
+
+class TestReductionCalls:
+    def test_fires_on_builtin_sum(self, tmp_path):
+        path = write(tmp_path / "parallel" / "pool.py", """\
+            def collect(shard_grads):
+                return sum(shard_grads)
+        """)
+        found = lint_file(path, [ShardReductionRule()])
+        assert codes(found) == ["MP001"]
+        assert "tree_reduce" in found[0].message
+
+    def test_fires_on_np_sum_and_np_add(self, tmp_path):
+        path = write(tmp_path / "parallel" / "step.py", """\
+            import numpy as np
+
+            def collect(stack, a, b):
+                first = np.sum(stack, axis=0)
+                return np.add(first, b)
+        """)
+        assert codes(lint_file(path, [ShardReductionRule()])) == ["MP001", "MP001"]
+
+    def test_fires_on_sum_method(self, tmp_path):
+        path = write(tmp_path / "parallel" / "worker.py", """\
+            def collect(stacked):
+                return stacked.sum(axis=0)
+        """)
+        assert codes(lint_file(path, [ShardReductionRule()])) == ["MP001"]
+
+
+class TestGradientAdditions:
+    def test_fires_on_grad_augassign(self, tmp_path):
+        path = write(tmp_path / "parallel" / "step.py", """\
+            def merge(param, shard_grad):
+                param.grad += shard_grad
+        """)
+        found = lint_file(path, [ShardReductionRule()])
+        assert codes(found) == ["MP001"]
+        assert "param.grad" in found[0].message
+
+    def test_fires_on_grad_binop(self, tmp_path):
+        path = write(tmp_path / "parallel" / "step.py", """\
+            def merge(total_grad, shard_grad):
+                return total_grad + shard_grad
+        """)
+        assert codes(lint_file(path, [ShardReductionRule()])) == ["MP001"]
+
+    def test_ignores_non_gradient_arithmetic(self, tmp_path):
+        path = write(tmp_path / "parallel" / "pool.py", """\
+            def deadline(now, timeout, losses):
+                both = losses[0] * 0.5
+                return now + timeout, both
+        """)
+        assert lint_file(path, [ShardReductionRule()]) == []
+
+    def test_suppression_comment_is_honoured(self, tmp_path):
+        path = write(tmp_path / "parallel" / "step.py", """\
+            def merge(param, shard_grad):
+                param.grad += shard_grad  # repro-lint: disable=MP001
+        """)
+        assert lint_file(path, [ShardReductionRule()]) == []
+
+
+class TestLiveParallelPackageIsClean:
+    def test_shipping_parallel_modules_pass(self):
+        import pathlib
+
+        import repro.parallel
+
+        package_dir = pathlib.Path(repro.parallel.__file__).parent
+        rule = ShardReductionRule()
+        for module in sorted(package_dir.glob("*.py")):
+            assert lint_file(module, [rule]) == [], module.name

@@ -1,0 +1,197 @@
+"""Fault injection for the sharded regime.
+
+Two layers under test:
+
+- the pool: a worker killed mid-step (real ``SIGKILL``) is detected, the
+  step raises :class:`WorkerFailure` instead of hanging, the dead worker is
+  respawned, and the *next* step produces bit-for-bit correct results;
+- the trainer: a ``WorkerFailure`` enters the PR-2 guardrail ladder with
+  the same contract as any poisoned batch — transient failures are skipped,
+  persistent ones escalate skip → restore (LR backoff) → abort with a
+  structured :class:`TrainingDiverged` report; unguarded runs propagate.
+"""
+
+import os
+import signal
+
+import numpy as np
+import pytest
+
+import repro.continual.trainer as trainer_module
+from repro.continual import ContinualTrainer, build_objective
+from repro.continual.method import make_method
+from repro.parallel import ShardedStep, WorkerFailure
+from repro.runtime import GuardrailPolicy, TrainingDiverged
+
+from tests.parallel.test_parity import FEATURES, STEP_CONFIG, _make_batches
+
+SEED = 31337
+
+
+@pytest.mark.slow
+class TestPoolFaults:
+    def test_killed_worker_raises_respawns_and_recovers(self):
+        rng = np.random.default_rng(SEED)
+        objective = build_objective(STEP_CONFIG, (FEATURES,), rng)
+        objective.train()
+        batches = _make_batches(3, 13)
+        with ShardedStep(objective, STEP_CONFIG, (FEATURES,),
+                         workers=2, timeout=30.0) as step:
+            pool = step.pool
+            # A healthy step first, so the kill lands on a warm pool.
+            objective.zero_grad(set_to_none=False)
+            step.loss_backward(*batches[0])
+
+            os.kill(pool.processes[1].pid, signal.SIGKILL)
+            objective.zero_grad(set_to_none=False)
+            with pytest.raises(WorkerFailure) as excinfo:
+                step.loss_backward(*batches[1])
+            # Odd shard ids were worker 1's round-robin assignment.
+            assert set(excinfo.value.shard_ids) == {1, 3, 5}
+            assert pool.respawns == 1
+            assert all(p.is_alive() for p in pool.processes)
+
+            # The step after the failure must match the serial reference
+            # exactly: discard the poisoned grads, rerun the lost batch.
+            objective.zero_grad(set_to_none=False)
+            recovered = step.loss_backward(*batches[1])
+
+        serial_rng = np.random.default_rng(SEED)
+        serial_objective = build_objective(STEP_CONFIG, (FEATURES,), serial_rng)
+        serial_objective.train()
+        with ShardedStep(serial_objective, STEP_CONFIG, (FEATURES,),
+                         workers=1) as serial:
+            serial_objective.zero_grad(set_to_none=False)
+            serial.loss_backward(*batches[0])
+            serial_objective.zero_grad(set_to_none=False)
+            expected = serial.loss_backward(*batches[1])
+
+        np.testing.assert_array_equal(np.float32(expected.data),
+                                      np.float32(recovered.data))
+        for (name, pa), (_n, pb) in zip(objective.named_parameters(),
+                                        serial_objective.named_parameters()):
+            np.testing.assert_array_equal(pa.grad, pb.grad, err_msg=name)
+
+    def test_worker_exception_reports_without_respawn(self):
+        rng = np.random.default_rng(SEED)
+        objective = build_objective(STEP_CONFIG, (FEATURES,), rng)
+        objective.train()
+        view1, view2 = _make_batches(1, 12)[0]
+        with ShardedStep(objective, STEP_CONFIG, (FEATURES,),
+                         workers=2, timeout=30.0) as step:
+            # Poison one shard with a shape the replica cannot possibly
+            # accept: the worker reports the exception and stays alive.
+            objective.zero_grad(set_to_none=False)
+            with pytest.raises(WorkerFailure, match="raised during step"):
+                step.loss_backward(view1, view2[:, :FEATURES - 1])
+            assert step.pool.respawns == 0
+            assert all(p.is_alive() for p in step.pool.processes)
+
+            # Still fully usable afterwards.
+            objective.zero_grad(set_to_none=False)
+            step.loss_backward(view1, view2)
+
+
+class _FailingShardedStep(ShardedStep):
+    """ShardedStep whose loss_backward raises WorkerFailure on chosen call
+    indices — the trainer-facing symptom of a died/hung worker, without the
+    multiprocess machinery."""
+
+    poison: frozenset = frozenset()
+    calls = 0
+
+    def loss_backward(self, view1, view2):
+        call = _FailingShardedStep.calls
+        _FailingShardedStep.calls += 1
+        if call in self.poison:
+            raise WorkerFailure("worker 0: died mid-step (exitcode -9)",
+                                shard_ids=(0, 2, 4))
+        return super().loss_backward(view1, view2)
+
+
+@pytest.fixture
+def failing_sharded_step(monkeypatch):
+    """Patch the trainer's ShardedStep with the failure-injecting variant."""
+    def configure(poison):
+        _FailingShardedStep.poison = frozenset(poison)
+        _FailingShardedStep.calls = 0
+        monkeypatch.setattr(trainer_module, "ShardedStep", _FailingShardedStep)
+    return configure
+
+
+def sharded_trainer(config, sequence, policy=None, **kwargs):
+    rng = np.random.default_rng(SEED)
+    objective = build_objective(config, sequence[0].train.x.shape[1:], rng)
+    method = make_method("finetune", objective, config, rng)
+    return ContinualTrainer(method, config, rng, guardrails=policy, **kwargs)
+
+
+class TestGuardrailEscalation:
+    """WorkerFailure follows the PR-2 ladder contract exactly."""
+
+    def test_transient_failure_is_skipped(self, fast_config, tiny_sequence,
+                                          failing_sharded_step):
+        failing_sharded_step({1, 3})
+        config = fast_config.with_overrides(workers=1)
+        policy = GuardrailPolicy(anomaly_mode=False, max_skips_per_task=3)
+        trainer = sharded_trainer(config, tiny_sequence, policy)
+        result = trainer.run(tiny_sequence)
+        assert result.complete
+        kinds = [e["kind"] for e in trainer.log.events]
+        assert kinds.count("worker-failure") == 2
+        assert "restore" not in kinds and "abort" not in kinds
+
+    def test_persistent_failure_restores_then_aborts(self, fast_config,
+                                                     tiny_sequence, tmp_path,
+                                                     failing_sharded_step):
+        failing_sharded_step(set(range(10_000)))
+        config = fast_config.with_overrides(workers=1)
+        policy = GuardrailPolicy(anomaly_mode=False, max_skips_per_task=1,
+                                 max_restores_per_task=1, lr_backoff=0.5)
+        trainer = sharded_trainer(config, tiny_sequence, policy,
+                                  checkpoint_dir=tmp_path)
+        with pytest.raises(TrainingDiverged):
+            trainer.run(tiny_sequence)
+        kinds = [e["kind"] for e in trainer.log.events]
+        assert "worker-failure" in kinds
+        assert "restore" in kinds and "abort" in kinds
+        restore = next(e for e in trainer.log.events if e["kind"] == "restore")
+        assert restore["lr_scale"] == pytest.approx(0.5)
+        assert (tmp_path / "failure-report.json").exists()
+
+    def test_unguarded_failure_propagates(self, fast_config, tiny_sequence,
+                                          failing_sharded_step):
+        failing_sharded_step({0})
+        config = fast_config.with_overrides(workers=1)
+        trainer = sharded_trainer(config, tiny_sequence, policy=None)
+        with pytest.raises(WorkerFailure):
+            trainer.run(tiny_sequence)
+
+
+class TestShardFallback:
+    """Ineligible configurations fall back to the classic step, logged."""
+
+    def test_non_shard_safe_method_falls_back(self, fast_config,
+                                              tiny_sequence):
+        config = fast_config.with_overrides(workers=1)
+        rng = np.random.default_rng(SEED)
+        objective = build_objective(config, tiny_sequence[0].train.x.shape[1:],
+                                    rng)
+        method = make_method("edsr", objective, config, rng)
+        trainer = ContinualTrainer(method, config, rng)
+        result = trainer.run(tiny_sequence)
+        assert result.complete
+        assert trainer._sharded_step is None
+        events = [e for e in trainer.log.events if e["kind"] == "shard-fallback"]
+        assert events and "shard-safe" in events[0]["detail"]
+
+    def test_anomaly_mode_guardrails_fall_back(self, fast_config,
+                                               tiny_sequence):
+        config = fast_config.with_overrides(workers=1)
+        policy = GuardrailPolicy()  # anomaly_mode defaults on
+        trainer = sharded_trainer(config, tiny_sequence, policy)
+        result = trainer.run(tiny_sequence)
+        assert result.complete
+        assert trainer._sharded_step is None
+        events = [e for e in trainer.log.events if e["kind"] == "shard-fallback"]
+        assert events and "anomaly" in events[0]["detail"]

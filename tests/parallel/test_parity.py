@@ -1,0 +1,183 @@
+"""Bit-for-bit parity harness for the sharded regime (PR 5 acceptance).
+
+The contract under test: with ``workers`` set, the worker count only chooses
+how many processes execute a fixed shard program — it must never change a
+single bit of any loss, gradient, optimizer state, weight, BatchNorm buffer,
+or checkpoint.  Every comparison here is ``assert_array_equal`` (exact), not
+``allclose``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.continual import ContinualTrainer, build_objective, make_method
+from repro.continual.config import ContinualConfig
+from repro.optim import SGD
+from repro.parallel import ShardedStep
+
+SEED = 31337
+FEATURES = 12
+
+STEP_CONFIG = ContinualConfig(batch_size=16, representation_dim=16,
+                              epochs=2, knn_k=5, memory_budget=0,
+                              replay_batch_size=0, noise_neighbors=0)
+
+
+def _make_batches(n_steps: int, batch_size: int) -> list[tuple[np.ndarray, np.ndarray]]:
+    data_rng = np.random.default_rng(999)
+    return [
+        (data_rng.standard_normal((batch_size, FEATURES)).astype(np.float32),
+         data_rng.standard_normal((batch_size, FEATURES)).astype(np.float32))
+        for _ in range(n_steps)
+    ]
+
+
+def run_sharded_steps(workers: int, use_tape: bool, n_steps: int = 4,
+                      batch_size: int = 13):
+    """Drive ``n_steps`` SGD steps through a ShardedStep; return all state."""
+    rng = np.random.default_rng(SEED)
+    objective = build_objective(STEP_CONFIG, (FEATURES,), rng)
+    objective.train()
+    optimizer = SGD(objective.parameters(), lr=0.05, momentum=0.9,
+                    weight_decay=5e-4)
+    losses = []
+    with ShardedStep(objective, STEP_CONFIG, (FEATURES,), workers=workers,
+                     use_tape=use_tape) as step:
+        for view1, view2 in _make_batches(n_steps, batch_size):
+            optimizer.zero_grad()
+            loss = step.loss_backward(view1, view2)
+            losses.append(np.float32(loss.data))
+            optimizer.step()
+    return {
+        "losses": np.array(losses),
+        "grads": [p.grad.copy() for p in objective.parameters()],
+        "params": [p.data.copy() for p in objective.parameters()],
+        "buffers": {name: buf.copy()
+                    for name, buf in objective.named_buffers()},
+        "optimizer": optimizer.state_dict(),
+    }
+
+
+def assert_states_identical(reference: dict, candidate: dict, label: str):
+    np.testing.assert_array_equal(reference["losses"], candidate["losses"],
+                                  err_msg=f"{label}: losses")
+    for slot, (expected, actual) in enumerate(zip(reference["grads"],
+                                                  candidate["grads"])):
+        np.testing.assert_array_equal(expected, actual,
+                                      err_msg=f"{label}: grad[{slot}]")
+    for slot, (expected, actual) in enumerate(zip(reference["params"],
+                                                  candidate["params"])):
+        np.testing.assert_array_equal(expected, actual,
+                                      err_msg=f"{label}: param[{slot}]")
+    assert reference["buffers"].keys() == candidate["buffers"].keys()
+    for name, expected in reference["buffers"].items():
+        np.testing.assert_array_equal(expected, candidate["buffers"][name],
+                                      err_msg=f"{label}: buffer {name}")
+    _assert_tree_equal(reference["optimizer"], candidate["optimizer"],
+                       f"{label}: optimizer")
+
+
+def _assert_tree_equal(expected, actual, path: str):
+    assert type(expected) is type(actual), path
+    if isinstance(expected, dict):
+        assert expected.keys() == actual.keys(), path
+        for key in expected:
+            _assert_tree_equal(expected[key], actual[key], f"{path}/{key}")
+    elif isinstance(expected, (list, tuple)):
+        assert len(expected) == len(actual), path
+        for index, (e, a) in enumerate(zip(expected, actual)):
+            _assert_tree_equal(e, a, f"{path}/{index}")
+    elif isinstance(expected, np.ndarray):
+        np.testing.assert_array_equal(expected, actual, err_msg=path)
+    else:
+        assert expected == actual, path
+
+
+class TestShardedStepParity:
+    """Gradients, optimizer state, weights, buffers: workers {1,2,3} equal."""
+
+    @pytest.fixture(scope="class")
+    def reference(self):
+        # workers=1 runs the shard program serially in-process: the parity
+        # reference every multiprocess execution must reproduce exactly.
+        return {use_tape: run_sharded_steps(1, use_tape)
+                for use_tape in (True, False)}
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("workers", [2, 3])
+    @pytest.mark.parametrize("use_tape", [True, False])
+    def test_multiprocess_matches_serial(self, reference, workers, use_tape):
+        candidate = run_sharded_steps(workers, use_tape)
+        assert_states_identical(reference[use_tape], candidate,
+                                f"workers={workers} tape={use_tape}")
+
+    def test_tape_matches_eager(self, reference):
+        # Within the serial reference, tape replay must itself be invisible.
+        assert_states_identical(reference[True], reference[False],
+                                "serial tape-vs-eager")
+
+    @pytest.mark.slow
+    def test_batch_smaller_than_shard_count(self):
+        # batch of 4 < N_SHARDS=6: four single-sample shards, three workers.
+        serial = run_sharded_steps(1, True, n_steps=3, batch_size=4)
+        pooled = run_sharded_steps(3, True, n_steps=3, batch_size=4)
+        assert_states_identical(serial, pooled, "batch=4 workers=3")
+
+    @pytest.mark.slow
+    def test_more_workers_than_ever_receive_shards(self):
+        # 5 workers over 6 shards: round-robin leaves worker 4 one shard,
+        # and a second run with uneven shard sizes (13 = 3+2+2+2+2+2).
+        serial = run_sharded_steps(1, True, n_steps=2, batch_size=13)
+        pooled = run_sharded_steps(5, True, n_steps=2, batch_size=13)
+        assert_states_identical(serial, pooled, "workers=5 uneven shards")
+
+
+def _trainer(config: ContinualConfig, sequence, **kwargs) -> ContinualTrainer:
+    rng = np.random.default_rng(SEED)
+    objective = build_objective(config, sequence[0].train.x.shape[1:], rng)
+    method = make_method("finetune", objective, config, rng)
+    return ContinualTrainer(method, config, rng, **kwargs)
+
+
+class TestTrainerParity:
+    """End-to-end acceptance: ``--workers 2`` runs are bitwise identical to
+    ``--workers 1`` — accuracy matrices, final weights, and every array of
+    every checkpoint npz."""
+
+    @pytest.mark.slow
+    def test_checkpoints_bitwise_identical_across_worker_counts(
+            self, fast_config, tiny_sequence, tmp_path):
+        results, trainers, dirs = {}, {}, {}
+        for workers in (1, 2):
+            config = fast_config.with_overrides(workers=workers)
+            dirs[workers] = tmp_path / f"workers{workers}"
+            trainers[workers] = _trainer(config, tiny_sequence,
+                                         checkpoint_dir=dirs[workers])
+            results[workers] = trainers[workers].run(tiny_sequence)
+
+        np.testing.assert_array_equal(results[1].accuracy_matrix,
+                                      results[2].accuracy_matrix)
+        for (name, p1), (_n, p2) in zip(
+                trainers[1].method.objective.named_parameters(),
+                trainers[2].method.objective.named_parameters()):
+            np.testing.assert_array_equal(p1.data, p2.data, err_msg=name)
+
+        for task_index in range(len(tiny_sequence)):
+            npz = f"ckpt-{task_index:05d}.npz"
+            with np.load(dirs[1] / npz) as one, np.load(dirs[2] / npz) as two:
+                assert set(one.files) == set(two.files)
+                for key in one.files:
+                    np.testing.assert_array_equal(one[key], two[key],
+                                                  err_msg=f"{npz}:{key}")
+
+    @pytest.mark.slow
+    def test_checkpoint_meta_records_topology(self, fast_config,
+                                              tiny_sequence, tmp_path):
+        import json
+
+        config = fast_config.with_overrides(workers=2)
+        _trainer(config, tiny_sequence,
+                 checkpoint_dir=tmp_path).run(tiny_sequence)
+        manifest = json.loads((tmp_path / "ckpt-00000.json").read_text())
+        assert manifest["meta"]["workers"] == 2
+        assert manifest["meta"]["n_shards"] >= 1

@@ -1,0 +1,124 @@
+"""Property tests for shard planning and the fixed-order tree reduction.
+
+The invariant that makes multiprocess execution bit-for-bit reproducible:
+reduction order is indexed by *shard id*, so the order in which workers
+*deliver* their results — any permutation, modelling any interleaving of
+process completion — cannot change a single bit of the reduced gradients.
+Hypothesis drives the shard decomposition through uneven last shards and
+batches smaller than the shard (and worker) count.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.parallel import N_SHARDS, shard_plan, shard_weights, tree_reduce
+from repro.parallel.reduce import reduce_gradients
+
+
+class TestShardPlan:
+    @given(batch_size=st.integers(1, 200), n_shards=st.integers(1, 16))
+    def test_plan_partitions_the_batch(self, batch_size, n_shards):
+        plan = shard_plan(batch_size, n_shards)
+        # Contiguous, ordered, non-empty, covering exactly range(batch_size).
+        assert plan[0].start == 0 and plan[-1].stop == batch_size
+        for before, after in zip(plan, plan[1:]):
+            assert before.stop == after.start
+        sizes = [s.stop - s.start for s in plan]
+        assert all(size >= 1 for size in sizes)
+        assert sum(sizes) == batch_size
+        # Balanced: sizes differ by at most one, larger shards first.
+        assert max(sizes) - min(sizes) <= 1
+        assert sizes == sorted(sizes, reverse=True)
+
+    @given(batch_size=st.integers(1, N_SHARDS - 1))
+    def test_batch_smaller_than_shard_count(self, batch_size):
+        plan = shard_plan(batch_size)
+        assert len(plan) == batch_size
+        assert all(s.stop - s.start == 1 for s in plan)
+
+    @given(batch_size=st.integers(1, 200))
+    def test_plan_is_a_pure_function_of_batch_size(self, batch_size):
+        assert shard_plan(batch_size) == shard_plan(batch_size)
+
+    @given(batch_size=st.integers(1, 200))
+    def test_weights_sum_close_to_one(self, batch_size):
+        plan = shard_plan(batch_size)
+        weights = shard_weights(plan, batch_size)
+        assert all(w.dtype == np.float32 for w in weights)
+        assert np.isclose(np.sum(weights, dtype=np.float64), 1.0)
+
+
+def _shard_values(seed: int, n_shards: int, shape: tuple[int, ...]):
+    rng = np.random.default_rng(seed)
+    return [(rng.standard_normal(shape) * 10.0 ** rng.integers(-3, 4)).astype(np.float32)
+            for _ in range(n_shards)]
+
+
+class TestTreeReduce:
+    @given(seed=st.integers(0, 2 ** 32 - 1), n_shards=st.integers(1, 12),
+           data=st.data())
+    @settings(max_examples=60)
+    def test_reduction_invariant_to_arrival_order(self, seed, n_shards, data):
+        """Permuted delivery, slotted by shard id, reduces identically."""
+        values = _shard_values(seed, n_shards, (5, 3))
+        reference = tree_reduce(values)
+
+        arrival = data.draw(st.permutations(range(n_shards)))
+        delivered: dict[int, np.ndarray] = {}
+        for shard_id in arrival:  # workers finish in arbitrary order...
+            delivered[shard_id] = values[shard_id]
+        # ...but reduction walks shard ids 0..K-1, not insertion order.
+        resorted = [delivered[k] for k in range(n_shards)]
+        np.testing.assert_array_equal(reference, tree_reduce(resorted))
+
+    @given(seed=st.integers(0, 2 ** 32 - 1), batch_size=st.integers(1, 40),
+           data=st.data())
+    @settings(max_examples=60)
+    def test_gradient_reduction_invariant_to_arrival_order(self, seed,
+                                                           batch_size, data):
+        """Full reduce_gradients path: uneven shards, shuffled dict order."""
+        plan = shard_plan(batch_size)
+        weights = shard_weights(plan, batch_size)
+        rng = np.random.default_rng(seed)
+        per_shard = {
+            shard_id: [rng.standard_normal((4, 2)).astype(np.float32),
+                       rng.standard_normal((7,)).astype(np.float32)]
+            for shard_id in range(len(plan))
+        }
+        reference = reduce_gradients(per_shard, weights)
+
+        arrival = data.draw(st.permutations(range(len(plan))))
+        shuffled = {shard_id: per_shard[shard_id] for shard_id in arrival}
+        shuffled_reduced = reduce_gradients(shuffled, weights)
+        for expected, actual in zip(reference, shuffled_reduced):
+            np.testing.assert_array_equal(expected, actual)
+
+    @given(seed=st.integers(0, 2 ** 32 - 1), n_shards=st.integers(3, 12))
+    @settings(max_examples=30)
+    def test_reduction_order_is_load_bearing(self, seed, n_shards):
+        """Float addition is not associative: the fixed tree exists because
+        a left-fold over the same values is allowed to differ in the last
+        ulps.  (Equality is permitted — just never required.)"""
+        values = _shard_values(seed, n_shards, (64,))
+        tree = tree_reduce(values)
+        fold = values[0]
+        for value in values[1:]:
+            fold = fold + value
+        np.testing.assert_allclose(tree, fold, rtol=1e-4)
+
+    def test_reduce_rejects_missing_shard(self):
+        import pytest
+
+        plan = shard_plan(12)
+        weights = shard_weights(plan, 12)
+        grads = {k: [np.ones(3, dtype=np.float32)] for k in range(len(plan))}
+        del grads[2]
+        with pytest.raises(ValueError, match=r"shard\(s\) \[2\]"):
+            reduce_gradients(grads, weights)
+
+    def test_reduce_rejects_empty(self):
+        import pytest
+
+        with pytest.raises(ValueError, match="at least one"):
+            tree_reduce([])
