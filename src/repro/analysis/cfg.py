@@ -1,0 +1,186 @@
+"""Statement-level control-flow graphs for the dataflow framework.
+
+A :class:`CFG` has one node per *simple* statement plus one per compound
+header (the ``if``/``while`` test, the ``for`` iterable, the ``with``
+items) and synthetic ``ENTRY``/``EXIT`` nodes.  Edges over-approximate
+control flow — for a *may*-taint analysis with union merges that is the
+safe direction:
+
+- ``if``/``while``/``for`` branch both ways from their header;
+- loops carry a back-edge from the body's exits to the header, so the
+  fixpoint iteration sees values that become tainted on a later trip;
+- ``break``/``continue``/``return``/``raise`` terminate their path
+  (``break`` edges to the loop's join, ``continue`` to its header);
+- ``try`` is the usual over-approximation: every statement of the body
+  may transfer to every handler (an exception can strike anywhere), the
+  ``else`` runs after a clean body, and ``finally`` collects all of them;
+- nested ``def``/``class``/``lambda`` bodies are *not* linked into the
+  graph — the dataflow layer analyzes nested functions separately with
+  the enclosing environment at the definition site.
+
+The builder never executes code and never imports the linted module.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+__all__ = ["CFG", "CFGNode", "build_cfg"]
+
+ENTRY = 0
+EXIT = 1
+
+
+@dataclass
+class CFGNode:
+    """One control-flow node: a statement (or header) plus its role.
+
+    ``kind`` is ``"stmt"`` for simple statements, ``"test"`` for an
+    ``if``/``while`` header, ``"iter"`` for a ``for`` header, ``"with"``
+    for a ``with`` header, and ``"entry"``/``"exit"`` for the synthetic
+    boundary nodes (whose ``stmt`` is ``None``).
+    """
+
+    node_id: int
+    stmt: ast.stmt | None
+    kind: str
+
+
+@dataclass
+class CFG:
+    """A statement-level control-flow graph for one function body."""
+
+    nodes: list[CFGNode] = field(default_factory=list)
+    succ: dict[int, set[int]] = field(default_factory=dict)
+    pred: dict[int, set[int]] = field(default_factory=dict)
+
+    def add_node(self, stmt: ast.stmt | None, kind: str) -> int:
+        node_id = len(self.nodes)
+        self.nodes.append(CFGNode(node_id, stmt, kind))
+        self.succ[node_id] = set()
+        self.pred[node_id] = set()
+        return node_id
+
+    def add_edge(self, src: int, dst: int) -> None:
+        self.succ[src].add(dst)
+        self.pred[dst].add(src)
+
+    def rpo(self) -> list[int]:
+        """Reverse post-order from ENTRY — the efficient worklist order."""
+        seen: set[int] = set()
+        order: list[int] = []
+        stack: list[tuple[int, bool]] = [(ENTRY, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.append((node, True))
+            for succ in sorted(self.succ[node], reverse=True):
+                if succ not in seen:
+                    stack.append((succ, False))
+        order.reverse()
+        return order
+
+
+class _Builder:
+    def __init__(self):
+        self.cfg = CFG()
+        self.cfg.add_node(None, "entry")  # node 0 == ENTRY
+        self.cfg.add_node(None, "exit")   # node 1 == EXIT
+
+    # ------------------------------------------------------------------
+    def build(self, body: list[ast.stmt]) -> CFG:
+        exits = self._block(body, {ENTRY}, loops=[])
+        for node in exits:
+            self.cfg.add_edge(node, EXIT)
+        return self.cfg
+
+    def _link(self, preds: set[int], node: int) -> None:
+        for pred in preds:
+            self.cfg.add_edge(pred, node)
+
+    def _block(self, stmts: list[ast.stmt], preds: set[int],
+               loops: list[dict]) -> set[int]:
+        """Wire ``stmts`` after ``preds``; returns the fall-through exits."""
+        for stmt in stmts:
+            if not preds:
+                break  # unreachable code after return/raise/break
+            preds = self._statement(stmt, preds, loops)
+        return preds
+
+    def _statement(self, stmt: ast.stmt, preds: set[int],
+                   loops: list[dict]) -> set[int]:
+        cfg = self.cfg
+        if isinstance(stmt, ast.If):
+            test = cfg.add_node(stmt, "test")
+            self._link(preds, test)
+            body_exits = self._block(stmt.body, {test}, loops)
+            else_exits = self._block(stmt.orelse, {test}, loops) \
+                if stmt.orelse else {test}
+            return body_exits | else_exits
+
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            kind = "test" if isinstance(stmt, ast.While) else "iter"
+            head = cfg.add_node(stmt, kind)
+            self._link(preds, head)
+            frame = {"head": head, "breaks": set()}
+            loops.append(frame)
+            body_exits = self._block(stmt.body, {head}, loops)
+            loops.pop()
+            for node in body_exits:
+                cfg.add_edge(node, head)  # loop back-edge
+            after: set[int] = {head} | frame["breaks"]
+            if stmt.orelse:
+                after = self._block(stmt.orelse, after, loops)
+            return after
+
+        if isinstance(stmt, (ast.Try, getattr(ast, "TryStar", ast.Try))):
+            body_nodes_before = len(cfg.nodes)
+            body_exits = self._block(stmt.body, preds, loops)
+            body_nodes = set(range(body_nodes_before, len(cfg.nodes)))
+            handler_exits: set[int] = set()
+            for handler in stmt.handlers:
+                head = cfg.add_node(stmt, "except")
+                # An exception may strike anywhere in the body — including
+                # before its first statement executes.
+                self._link(preds | body_nodes, head)
+                handler_exits |= self._block(handler.body, {head}, loops)
+            else_exits = self._block(stmt.orelse, body_exits, loops) \
+                if stmt.orelse else body_exits
+            exits = else_exits | handler_exits
+            if stmt.finalbody:
+                # finally also runs on the exceptional path out of the body
+                exits = self._block(stmt.finalbody,
+                                    exits | body_nodes | set(preds), loops)
+            return exits
+
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            head = cfg.add_node(stmt, "with")
+            self._link(preds, head)
+            return self._block(stmt.body, {head}, loops)
+
+        # Simple statements (including nested def/class, not descended into).
+        node = cfg.add_node(stmt, "stmt")
+        self._link(preds, node)
+        if isinstance(stmt, (ast.Return, ast.Raise)):
+            cfg.add_edge(node, EXIT)
+            return set()
+        if isinstance(stmt, ast.Break):
+            if loops:
+                loops[-1]["breaks"].add(node)
+            return set()
+        if isinstance(stmt, ast.Continue):
+            if loops:
+                cfg.add_edge(node, loops[-1]["head"])
+            return set()
+        return {node}
+
+
+def build_cfg(func: ast.FunctionDef | ast.AsyncFunctionDef) -> CFG:
+    """Build the statement-level CFG of one function body."""
+    return _Builder().build(func.body)

@@ -1,0 +1,319 @@
+"""Intra-function taint analysis over the statement-level CFG.
+
+This is the engine the dataflow rules (DET002, TAPE002) are written
+against.  A rule supplies a :class:`TaintSpec` — three predicates over
+call sites — and gets back :class:`TaintFinding` records plus the
+per-statement taint environments:
+
+- ``source_label(call, resolve)`` names the taint a call introduces
+  (``"unseeded-rng"``, ``"tensor"``, ...) or returns ``None``;
+- ``sink(call, resolve)`` describes why a call must not receive tainted
+  values, or returns ``None``;
+- ``is_sanitizer(call, resolve)`` marks calls whose *result* is clean
+  regardless of argument taint (``len(...)`` of a tainted list is a
+  deterministic int).
+
+``resolve`` is the caller-provided name resolver (usually
+:meth:`repro.analysis.index.ModuleInfo.resolve`) mapping an expression to
+a dotted, import-resolved name, so specs match on ``numpy.random.rand``
+whether the module wrote ``np.random.rand`` or ``numpy.random.rand``.
+
+The abstract state maps variable names (plain names and dotted
+``self.attr`` paths) to frozensets of taint labels.  Joins are pointwise
+unions and the transfer functions over-approximate — a *may*-taint
+analysis: augmented assignment keeps the target tainted, comprehensions
+propagate iterable taint through their targets, ``try`` bodies may hand
+any partial state to their handlers, and nested functions inherit the
+enclosing environment at their definition site (closure capture).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from repro.analysis.cfg import CFG, build_cfg
+
+__all__ = ["TaintSpec", "TaintFinding", "FunctionTaint", "analyze_function",
+           "expr_labels"]
+
+#: Abstract state: variable/attribute path -> taint labels.
+Env = dict[str, frozenset]
+
+_MAX_ITERATIONS = 64
+
+
+class TaintSpec:
+    """Rule-author API: what taints, what consumes, what cleans."""
+
+    #: Attribute names whose *read* is clean even on a tainted receiver
+    #: (``x.ndim`` of a tainted tensor is a structural fact, not data).
+    stable_attrs: frozenset = frozenset()
+
+    def source_label(self, call: ast.Call, resolve) -> str | None:
+        return None
+
+    def sink(self, call: ast.Call, resolve) -> str | None:
+        return None
+
+    def is_sanitizer(self, call: ast.Call, resolve) -> bool:
+        return False
+
+
+@dataclass(frozen=True)
+class TaintFinding:
+    """A tainted value reaching a sink call."""
+
+    line: int
+    label: str
+    sink: str
+
+
+@dataclass
+class FunctionTaint:
+    """Result of analyzing one function: findings + final environments."""
+
+    cfg: CFG
+    env_in: dict[int, Env]
+    findings: list[TaintFinding] = field(default_factory=list)
+
+    def env_before(self, node_id: int) -> Env:
+        return self.env_in.get(node_id, {})
+
+
+def _path(node: ast.expr) -> str | None:
+    """Dotted path for Name/Attribute chains (``self.rng`` -> "self.rng")."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _join(a: Env, b: Env) -> Env:
+    out = dict(a)
+    for key, labels in b.items():
+        prev = out.get(key)
+        out[key] = labels if prev is None else prev | labels
+    return out
+
+
+class _Analyzer:
+    def __init__(self, spec: TaintSpec, resolve: Callable[[ast.expr], str]):
+        self.spec = spec
+        self.resolve = resolve
+        self.findings: list[TaintFinding] = []
+        self.nested: list[tuple[ast.AST, Env]] = []
+        self._report = False  # findings only collected on the final pass
+
+    # ------------------------------------------------------------------
+    # Expression evaluation
+    # ------------------------------------------------------------------
+    def expr(self, node: ast.expr, env: Env) -> frozenset:
+        """Taint labels of ``node`` under ``env`` (may bind walrus targets)."""
+        if node is None:
+            return frozenset()
+        if isinstance(node, ast.Name):
+            return env.get(node.id, frozenset())
+        if isinstance(node, ast.Attribute):
+            if node.attr in self.spec.stable_attrs:
+                return frozenset()
+            labels = env.get(_path(node) or "", frozenset())
+            return labels | self.expr(node.value, env)
+        if isinstance(node, ast.Call):
+            return self._call(node, env)
+        if isinstance(node, ast.NamedExpr):
+            labels = self.expr(node.value, env)
+            env[node.target.id] = labels
+            return labels
+        if isinstance(node, ast.IfExp):
+            self.expr(node.test, env)
+            return self.expr(node.body, env) | self.expr(node.orelse, env)
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp,
+                             ast.DictComp)):
+            return self._comprehension(node, env)
+        if isinstance(node, ast.Lambda):
+            return frozenset()  # not descended; nested defs handled separately
+        if isinstance(node, ast.Constant):
+            return frozenset()
+        # Generic containers/operators: union over child expressions.
+        labels = frozenset()
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                labels |= self.expr(child, env)
+        return labels
+
+    def _call(self, node: ast.Call, env: Env) -> frozenset:
+        arg_labels = frozenset()
+        for arg in node.args:
+            arg_labels |= self.expr(arg, env)
+        for kw in node.keywords:
+            arg_labels |= self.expr(kw.value, env)
+        # Sink check: any tainted argument reaching a sink call is a finding.
+        sink = self.spec.sink(node, self.resolve)
+        if sink is not None and arg_labels and self._report:
+            for label in sorted(arg_labels):
+                self.findings.append(TaintFinding(node.lineno, label, sink))
+        if self.spec.is_sanitizer(node, self.resolve):
+            return frozenset()
+        labels = arg_labels
+        source = self.spec.source_label(node, self.resolve)
+        if source is not None:
+            labels |= frozenset({source})
+        if isinstance(node.func, ast.Attribute):
+            # A method call on a tainted object yields a tainted result.
+            labels |= self.expr(node.func.value, env)
+        return labels
+
+    def _comprehension(self, node: ast.expr, env: Env) -> frozenset:
+        local = dict(env)
+        for gen in node.generators:
+            iter_labels = self.expr(gen.iter, local)
+            self._bind(gen.target, iter_labels, local)
+            for cond in gen.ifs:
+                self.expr(cond, local)
+        if isinstance(node, ast.DictComp):
+            return self.expr(node.key, local) | self.expr(node.value, local)
+        return self.expr(node.elt, local)
+
+    # ------------------------------------------------------------------
+    # Statement transfer
+    # ------------------------------------------------------------------
+    def _bind(self, target: ast.expr, labels: frozenset, env: Env,
+              weak: bool = False) -> None:
+        if isinstance(target, ast.Name):
+            env[target.id] = (env.get(target.id, frozenset()) | labels) \
+                if weak else labels
+        elif isinstance(target, ast.Starred):
+            self._bind(target.value, labels, env, weak)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._bind(elt, labels, env, weak)
+        elif isinstance(target, ast.Attribute):
+            path = _path(target)
+            if path is not None:
+                env[path] = env.get(path, frozenset()) | labels
+        elif isinstance(target, ast.Subscript):
+            # ``x[i] = tainted`` taints the container.
+            path = _path(target.value)
+            if path is not None:
+                env[path] = env.get(path, frozenset()) | labels
+
+    def transfer(self, cfg_kind: str, stmt: ast.stmt | None, env: Env) -> Env:
+        """Abstract execution of one CFG node; returns the out-state."""
+        if stmt is None:
+            return env
+        env = dict(env)
+        if cfg_kind == "test":  # if/while header: evaluate the test only
+            self.expr(stmt.test, env)
+            return env
+        if cfg_kind == "iter":  # for header: bind target from the iterable
+            labels = self.expr(stmt.iter, env)
+            self._bind(stmt.target, labels, env, weak=True)
+            return env
+        if cfg_kind == "with":
+            for item in stmt.items:
+                labels = self.expr(item.context_expr, env)
+                if item.optional_vars is not None:
+                    self._bind(item.optional_vars, labels, env)
+            return env
+        if cfg_kind == "except":
+            return env
+
+        if isinstance(stmt, ast.Assign):
+            labels = self.expr(stmt.value, env)
+            for target in stmt.targets:
+                self._bind(target, labels, env)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._bind(stmt.target, self.expr(stmt.value, env), env)
+        elif isinstance(stmt, ast.AugAssign):
+            labels = self.expr(stmt.value, env)
+            self._bind(stmt.target, labels, env, weak=True)
+        elif isinstance(stmt, (ast.Expr, ast.Return)):
+            self.expr(stmt.value, env)
+        elif isinstance(stmt, ast.Assert):
+            self.expr(stmt.test, env)
+            self.expr(stmt.msg, env)
+        elif isinstance(stmt, ast.Raise):
+            self.expr(stmt.exc, env)
+            self.expr(stmt.cause, env)
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                path = _path(target)
+                if path is not None:
+                    env.pop(path, None)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if self._report:
+                self.nested.append((stmt, dict(env)))
+        return env
+
+
+def expr_labels(node: ast.expr, env: Env, spec: TaintSpec,
+                resolve: Callable[[ast.expr], str]) -> frozenset:
+    """Taint labels of one expression under ``env`` (no findings recorded)."""
+    return _Analyzer(spec, resolve).expr(node, dict(env))
+
+
+def analyze_function(func: ast.FunctionDef | ast.AsyncFunctionDef,
+                     spec: TaintSpec,
+                     resolve: Callable[[ast.expr], str],
+                     initial_env: Env | None = None,
+                     _depth: int = 0) -> FunctionTaint:
+    """Run the taint analysis to fixpoint over one function.
+
+    ``initial_env`` seeds the entry state (closure taint for nested
+    functions, parameter taint if the rule wants it).  Nested ``def``s are
+    analyzed recursively with the environment live at their definition
+    site; their findings are merged into the returned result.
+    """
+    cfg = build_cfg(func)
+    analyzer = _Analyzer(spec, resolve)
+    entry_env: Env = dict(initial_env or {})
+    env_in: dict[int, Env] = {0: entry_env}
+    env_out: dict[int, Env] = {}
+    order = cfg.rpo()
+
+    for _ in range(_MAX_ITERATIONS):
+        changed = False
+        for node_id in order:
+            node = cfg.nodes[node_id]
+            state: Env = dict(entry_env) if node_id == 0 else {}
+            for pred in cfg.pred[node_id]:
+                state = _join(state, env_out.get(pred, {}))
+            env_in[node_id] = state
+            out = analyzer.transfer(node.kind, node.stmt, state)
+            if env_out.get(node_id) != out:
+                env_out[node_id] = out
+                changed = True
+        if not changed:
+            break
+
+    # Final reporting pass with the fixpoint environments.
+    analyzer._report = True
+    result = FunctionTaint(cfg=cfg, env_in=env_in)
+    for node_id in order:
+        node = cfg.nodes[node_id]
+        analyzer.transfer(node.kind, node.stmt, env_in[node_id])
+    result.findings.extend(_dedupe(analyzer.findings))
+
+    if _depth < 4:
+        for nested_func, env in analyzer.nested:
+            nested = analyze_function(nested_func, spec, resolve,
+                                      initial_env=env, _depth=_depth + 1)
+            result.findings.extend(nested.findings)
+    return result
+
+
+def _dedupe(findings: Iterable[TaintFinding]) -> list[TaintFinding]:
+    seen: set[TaintFinding] = set()
+    out: list[TaintFinding] = []
+    for finding in findings:
+        if finding not in seen:
+            seen.add(finding)
+            out.append(finding)
+    return out

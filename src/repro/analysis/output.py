@@ -1,0 +1,164 @@
+"""Lint output formats (text/json/SARIF) and the baseline ratchet.
+
+Baseline
+--------
+``lint-baseline.json`` pins the set of *accepted* pre-existing violations
+so the suite can gate on "no new violations" without requiring a
+historically clean tree.  Entries are line-independent fingerprints —
+``(path, code, message)`` with an occurrence count — so moving code
+around a file does not churn the baseline, while a genuinely new
+violation (or one more occurrence of a known one) fails the ratchet.
+Paths are stored relative to the baseline file's directory, so the gate
+is invocation-directory independent.  ``--update-baseline`` re-pins;
+entries whose violations have been fixed are dropped on update (the
+ratchet only tightens).
+
+SARIF
+-----
+:func:`to_sarif` emits a SARIF 2.1.0 ``sarif-2.1.0.json``-schema document
+(one run, one ``repro-lint`` driver, one result per violation) for editor
+and code-scanning integrations.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis.linter import LintRule, Violation
+
+__all__ = ["Baseline", "to_json", "to_sarif"]
+
+_SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                 "master/Schemata/sarif-schema-2.1.0.json")
+
+
+def _relpath(path: Path, anchor: Path) -> str:
+    try:
+        return path.resolve().relative_to(anchor.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def to_json(violations: Sequence[Violation], stats: dict | None = None) -> dict:
+    """Machine-readable report: violations plus optional run statistics."""
+    out = {
+        "violations": [
+            {"path": str(v.path), "line": v.line, "code": v.code,
+             "message": v.message}
+            for v in violations
+        ],
+        "count": len(violations),
+    }
+    if stats is not None:
+        out["stats"] = stats
+    return out
+
+
+def to_sarif(violations: Sequence[Violation],
+             rules: Sequence[LintRule]) -> dict:
+    """Render violations as a SARIF 2.1.0 document."""
+    driver_rules = [
+        {
+            "id": rule.code,
+            "name": type(rule).__name__,
+            "shortDescription": {"text": rule.description},
+            "defaultConfiguration": {"level": "error"},
+        }
+        for rule in sorted(rules, key=lambda r: r.code)
+    ]
+    rule_index = {r["id"]: i for i, r in enumerate(driver_rules)}
+    results = []
+    for v in violations:
+        result = {
+            "ruleId": v.code,
+            "level": "error",
+            "message": {"text": v.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {"uri": Path(v.path).as_posix()},
+                    "region": {"startLine": v.line},
+                },
+            }],
+        }
+        if v.code in rule_index:
+            result["ruleIndex"] = rule_index[v.code]
+        results.append(result)
+    return {
+        "$schema": _SARIF_SCHEMA,
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {"driver": {
+                "name": "repro-lint",
+                "informationUri": "https://example.invalid/repro",
+                "rules": driver_rules,
+            }},
+            "results": results,
+        }],
+    }
+
+
+class Baseline:
+    """Line-independent accepted-violation set with occurrence counts."""
+
+    def __init__(self, path: Path | str):
+        self.path = Path(path)
+        self.entries: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def load(cls, path: Path | str) -> "Baseline":
+        baseline = cls(path)
+        try:
+            data = json.loads(baseline.path.read_text(encoding="utf-8"))
+            baseline.entries = {str(k): int(v)
+                                for k, v in data.get("entries", {}).items()}
+        except FileNotFoundError:
+            pass  # empty baseline: every violation is new
+        return baseline
+
+    def fingerprint(self, violation: Violation) -> str:
+        rel = _relpath(Path(violation.path), self.path.parent)
+        digest = hashlib.sha256(violation.message.encode("utf-8")).hexdigest()
+        return f"{rel}:{violation.code}:{digest[:12]}"
+
+    # ------------------------------------------------------------------
+    def partition(self, violations: Sequence[Violation]
+                  ) -> tuple[list[Violation], list[str]]:
+        """Split into (new violations, fixed baseline fingerprints).
+
+        A violation is *new* when its fingerprint's occurrence count
+        exceeds the baselined count; a baseline entry is *fixed* when
+        fewer occurrences were found than pinned.
+        """
+        seen: dict[str, int] = {}
+        new: list[Violation] = []
+        for violation in violations:
+            key = self.fingerprint(violation)
+            seen[key] = seen.get(key, 0) + 1
+            if seen[key] > self.entries.get(key, 0):
+                new.append(violation)
+        fixed = [key for key, count in self.entries.items()
+                 if seen.get(key, 0) < count]
+        return new, fixed
+
+    def update(self, violations: Sequence[Violation]) -> None:
+        """Re-pin the baseline to exactly the given violations."""
+        entries: dict[str, int] = {}
+        for violation in violations:
+            key = self.fingerprint(violation)
+            entries[key] = entries.get(key, 0) + 1
+        self.entries = entries
+
+    def write(self) -> None:
+        payload = {
+            "_comment": ("Accepted lint violations (repro lint --baseline). "
+                         "Keys are path:CODE:message-digest with occurrence "
+                         "counts; regenerate with --update-baseline. New "
+                         "violations beyond these counts fail the ratchet."),
+            "entries": dict(sorted(self.entries.items())),
+        }
+        self.path.write_text(json.dumps(payload, indent=2) + "\n",
+                             encoding="utf-8")

@@ -14,24 +14,44 @@ Codes
   (:class:`TapeBypassRule`)
 - ``MP001`` — shard-result summation bypassing the fixed-order tree
   reduction (:class:`ShardReductionRule`)
+
+Whole-program (dataflow/call-graph) rules:
+
+- ``DET002`` — unseeded RNG / wall-clock *value* reaching an engine op,
+  Tensor, or memory-selection sink (:class:`RNGTaintRule`)
+- ``TAPE002`` — tensor-valued control flow in capture-reachable functions
+  not declared via ``mark_unsafe`` (:class:`ShapeStabilityRule`)
+- ``MP002`` — module-level mutable state mutated on the worker path, or
+  locks/threads created pre-fork (:class:`ForkSafetyRule`)
+- ``SER002`` — ``__init__`` attributes of state-carrying classes missing
+  from their ``state_dict``/``load_state_dict`` pair
+  (:class:`CheckpointContractRule`)
 """
 
 from __future__ import annotations
 
 from repro.analysis.rules.api import ExportHygieneRule
 from repro.analysis.rules.autograd import InplaceMutationRule, LateBindingClosureRule
+from repro.analysis.rules.checkpoint_contract import CheckpointContractRule
 from repro.analysis.rules.determinism import SeedlessRNGRule
+from repro.analysis.rules.fork_safety import ForkSafetyRule
 from repro.analysis.rules.multiprocess import ShardReductionRule
 from repro.analysis.rules.perf import HotLoopDtypeRule
+from repro.analysis.rules.rng_flow import RNGTaintRule
 from repro.analysis.rules.serialization import StateDictSerializableRule
 from repro.analysis.rules.tape import TapeBypassRule
+from repro.analysis.rules.tape_flow import ShapeStabilityRule
 
 __all__ = [
+    "CheckpointContractRule",
     "ExportHygieneRule",
+    "ForkSafetyRule",
     "HotLoopDtypeRule",
     "InplaceMutationRule",
     "LateBindingClosureRule",
+    "RNGTaintRule",
     "SeedlessRNGRule",
+    "ShapeStabilityRule",
     "ShardReductionRule",
     "StateDictSerializableRule",
     "TapeBypassRule",
@@ -41,7 +61,9 @@ __all__ = [
 
 _RULE_CLASSES = (SeedlessRNGRule, InplaceMutationRule, LateBindingClosureRule,
                  ExportHygieneRule, StateDictSerializableRule, HotLoopDtypeRule,
-                 TapeBypassRule, ShardReductionRule)
+                 TapeBypassRule, ShardReductionRule,
+                 RNGTaintRule, ShapeStabilityRule, ForkSafetyRule,
+                 CheckpointContractRule)
 
 
 def default_rules():

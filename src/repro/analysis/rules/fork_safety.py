@@ -1,0 +1,181 @@
+"""MP002 — fork-safety: worker-visible module state and pre-fork threads.
+
+The sharded regime (PR 5) forks worker processes that each import the
+library and then receive *all* run state explicitly through the broadcast
+protocol (``("step", step_id, params, buffers, jobs)``).  Two patterns
+silently violate that contract:
+
+1. **Module-level mutable state mutated on the worker path.**  A
+   module-global dict/list/set (or a module attribute rebound via
+   ``global`` / ``module.NAME = ...``) that a worker-reachable function
+   mutates diverges per process: each fork mutates its own copy, the
+   parent never sees it, and worker assignment starts to matter — the
+   exact nondeterminism the fixed shard plan exists to prevent.  State a
+   worker needs must travel through the broadcast step message (or be
+   derived from it), not through module globals.
+
+2. **Locks/threads created at import time.**  A ``threading.Lock`` (or
+   ``Thread``, ``Condition``, ``queue.Queue``...) created at module level
+   exists *before* the fork; the child inherits the parent's lock state —
+   a lock held by another thread at fork time stays locked forever in the
+   child (CPython's long-standing fork/threading hazard).  Synchronization
+   objects must be created after the fork, inside the owning process.
+
+Worker reachability seeds at ``worker_main`` and closes over the call
+graph (through ``ShardExecutor`` and the tape machinery it drives).
+Per-process state that is *sanctioned* — the engine's capture slot, say —
+carries an explicit justified suppression.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.index import ModuleInfo, ProjectIndex
+from repro.analysis.linter import ProjectRule, Violation
+
+_WORKER_ROOTS = {"worker_main"}
+
+_MUTATING_METHODS = {
+    "append", "extend", "insert", "add", "update", "setdefault", "pop",
+    "popitem", "clear", "remove", "discard", "sort", "reverse",
+}
+
+_PREFORK_FACTORIES = {
+    "threading.Lock", "threading.RLock", "threading.Condition",
+    "threading.Semaphore", "threading.BoundedSemaphore", "threading.Event",
+    "threading.Barrier", "threading.Thread", "threading.local",
+    "multiprocessing.Lock", "multiprocessing.RLock", "queue.Queue",
+    "queue.LifoQueue", "queue.PriorityQueue",
+}
+
+_MUTABLE_LITERALS = (ast.Dict, ast.List, ast.Set, ast.ListComp, ast.DictComp,
+                     ast.SetComp)
+_MUTABLE_FACTORIES = {"dict", "list", "set", "defaultdict", "OrderedDict",
+                      "Counter", "deque"}
+
+
+def _module_globals(module: ModuleInfo) -> set[str]:
+    """Names bound to mutable containers (or ``None`` slots) at module level."""
+    out: set[str] = set()
+    for node in module.source.tree.body:
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        if value is None:
+            continue
+        mutable = isinstance(value, _MUTABLE_LITERALS) or (
+            isinstance(value, ast.Call)
+            and module.resolve(value.func).split(".")[-1] in _MUTABLE_FACTORIES
+        ) or (isinstance(value, ast.Constant) and value.value is None)
+        if not mutable:
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name):
+                out.add(target.id)
+    return out
+
+
+class ForkSafetyRule(ProjectRule):
+    code = "MP002"
+    description = ("module-level mutable state mutated on the worker path "
+                   "without broadcast, or locks/threads created pre-fork")
+
+    def check_project(self, index: ProjectIndex) -> Iterator[Violation]:
+        globals_of: dict[str, set[str]] = {
+            name: _module_globals(module)
+            for name, module in index.modules.items()
+        }
+        yield from self._prefork_objects(index)
+        reachable = index.reachable_from(
+            fq for fq, info in index.functions.items()
+            if info.name in _WORKER_ROOTS)
+        for fq in sorted(reachable):
+            info = index.functions[fq]
+            yield from self._mutations(index, info, globals_of)
+
+    # ------------------------------------------------------------------
+    def _prefork_objects(self, index: ProjectIndex) -> Iterator[Violation]:
+        for module in index.modules.values():
+            for node in module.source.tree.body:
+                value = getattr(node, "value", None)
+                if isinstance(node, (ast.Assign, ast.AnnAssign)) \
+                        and isinstance(value, ast.Call):
+                    resolved = module.resolve(value.func)
+                    if resolved in _PREFORK_FACTORIES:
+                        yield Violation(
+                            path=module.path, line=node.lineno, code=self.code,
+                            message=(f"{resolved}() created at module level "
+                                     f"exists before any worker fork; a lock "
+                                     f"held (or thread running) at fork time "
+                                     f"is inherited broken by the child — "
+                                     f"create synchronization objects inside "
+                                     f"the owning process, after the fork"))
+
+    # ------------------------------------------------------------------
+    def _mutations(self, index: ProjectIndex, info,
+                   globals_of: dict[str, set[str]]) -> Iterator[Violation]:
+        module = info.module
+        own_globals = globals_of.get(module.name, set())
+        declared_global: set[str] = set()
+        for node in ast.walk(info.node):
+            if isinstance(node, ast.Global):
+                declared_global.update(node.names)
+
+        def is_module_global(expr: ast.expr) -> str | None:
+            if isinstance(expr, ast.Name) and expr.id in own_globals:
+                return f"{module.name}.{expr.id}"
+            if isinstance(expr, ast.Attribute) and isinstance(expr.value, ast.Name):
+                base = module.resolve(expr.value)
+                if base in index.modules and expr.attr in globals_of.get(base, set()):
+                    return f"{base}.{expr.attr}"
+            return None
+
+        def report(line: int, target: str, how: str) -> Violation:
+            return Violation(
+                path=module.path, line=line, code=self.code,
+                message=(f"{how} of module-level state {target} in "
+                         f"worker-reachable {info.qualname}(): each forked "
+                         f"worker mutates its own copy and the parent never "
+                         f"sees it, so results depend on worker assignment; "
+                         f"route the state through the broadcast step "
+                         f"message instead"))
+
+        for node in ast.walk(info.node):
+            if isinstance(node, ast.Call) \
+                    and isinstance(node.func, ast.Attribute) \
+                    and node.func.attr in _MUTATING_METHODS:
+                target = is_module_global(node.func.value)
+                if target is not None:
+                    yield report(node.lineno, target,
+                                 f".{node.func.attr}() mutation")
+            elif isinstance(node, ast.Assign):
+                for tgt in node.targets:
+                    if isinstance(tgt, ast.Subscript):
+                        target = is_module_global(tgt.value)
+                        if target is not None:
+                            yield report(node.lineno, target, "item assignment")
+                    elif isinstance(tgt, ast.Name) and tgt.id in declared_global \
+                            and tgt.id in own_globals:
+                        yield report(node.lineno,
+                                     f"{module.name}.{tgt.id}",
+                                     "global rebind")
+                    elif isinstance(tgt, ast.Attribute):
+                        target = is_module_global(tgt)
+                        if target is not None:
+                            yield report(node.lineno, target,
+                                         "module-attribute rebind")
+            elif isinstance(node, ast.AugAssign):
+                target = is_module_global(node.target)
+                if isinstance(node.target, ast.Name) \
+                        and node.target.id in declared_global:
+                    target = target or f"{module.name}.{node.target.id}"
+                if target is not None and (
+                        not isinstance(node.target, ast.Name)
+                        or node.target.id in declared_global
+                        or isinstance(node.target, ast.Attribute)):
+                    yield report(node.lineno, target, "augmented update")

@@ -16,9 +16,12 @@ Commands
 ``report``   render a directory of saved results as a markdown report;
 ``list``     show available benchmarks, methods, selection strategies,
              replay losses, and objectives;
-``lint``     run the repo-specific static analysis (DET001/AD001/AD002/
-             API001/SER001/PERF001/TAPE001/MP001) plus the gradcheck-coverage
-             audit; exits non-zero on any violation (see ``repro.analysis``);
+``lint``     run the repo-specific static analysis — single-file rules
+             (DET001/AD001/AD002/API001/SER001/PERF001/TAPE001/MP001) and
+             whole-program dataflow rules (DET002/TAPE002/MP002/SER002) —
+             plus the gradcheck-coverage audit; supports ``--format``
+             text/json/sarif, an incremental cache, and a baseline
+             ratchet; exits non-zero on any non-baselined violation;
 ``bench``    run the op-registry microbenchmarks (fused-vs-unfused kernels,
              the SSL training-step bench, the tape eager-vs-replay bench,
              and the serial-vs-multiprocess sharded-step bench);
@@ -227,6 +230,20 @@ def _command_lint(args: argparse.Namespace) -> int:
     argv = list(args.paths)
     if args.select:
         argv += ["--select", args.select]
+    if args.format != "text":
+        argv += ["--format", args.format]
+    if args.baseline:
+        argv += ["--baseline", args.baseline]
+    if args.update_baseline:
+        argv += ["--update-baseline"]
+    if args.stats:
+        argv += ["--stats"]
+    if args.cache:
+        argv += ["--cache", args.cache]
+    if args.no_cache:
+        argv += ["--no-cache"]
+    if args.jobs is not None:
+        argv += ["--jobs", str(args.jobs)]
     if args.tests:
         argv += ["--tests", args.tests]
     if args.no_coverage:
@@ -317,6 +334,22 @@ def build_parser() -> argparse.ArgumentParser:
                              help="files or directories to lint (default: src/repro)")
     lint_parser.add_argument("--select", metavar="CODES",
                              help="comma-separated rule codes (e.g. DET001,AD001)")
+    lint_parser.add_argument("--format", default="text",
+                             choices=("text", "json", "sarif"),
+                             help="report format (default: text)")
+    lint_parser.add_argument("--baseline", metavar="FILE",
+                             help="accepted-violation baseline (ratchet)")
+    lint_parser.add_argument("--update-baseline", action="store_true",
+                             help="re-pin the baseline to current violations")
+    lint_parser.add_argument("--stats", action="store_true",
+                             help="print per-rule counts and cache hit rate")
+    lint_parser.add_argument("--cache", metavar="FILE",
+                             help="incremental cache file "
+                                  "(default: .repro-lint-cache.json)")
+    lint_parser.add_argument("--no-cache", action="store_true",
+                             help="disable the incremental cache")
+    lint_parser.add_argument("--jobs", type=int, metavar="N",
+                             help="parallel parse processes")
     lint_parser.add_argument("--tests", metavar="DIR",
                              help="gradcheck test dir (default: tests/tensor)")
     lint_parser.add_argument("--no-coverage", action="store_true",

@@ -35,7 +35,9 @@ class GenerativeReplay(ContinualMethod):
             raise TypeError("GenerativeReplay requires a VAEObjective "
                             "(ContinualConfig(objective='vae'))")
         super().__init__(objective, config, rng)
-        self.replay_weight = config.replay_weight if replay_weight is None else replay_weight
+        # Immutable hyperparameter derived from the constructor arguments;
+        # the caller rebuilds the method with the same config before loading.
+        self.replay_weight = config.replay_weight if replay_weight is None else replay_weight  # repro-lint: disable=SER002
         self.old_objective: VAEObjective | None = None
 
     def begin_task(self, task: Task, task_index: int, n_tasks: int) -> None:

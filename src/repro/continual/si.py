@@ -33,7 +33,9 @@ class SynapticIntelligence(ContinualMethod):
                  rng: np.random.Generator, xi: float = 1e-3):
         super().__init__(objective, config, rng)
         self.xi = xi
-        self._params = objective.parameters()
+        # Live references into the objective's parameters (checkpointed by
+        # the objective); re-derived here, never serialized.
+        self._params = objective.parameters()  # repro-lint: disable=SER002
         self._omega = [np.zeros_like(p.data) for p in self._params]      # running path integral
         self._big_omega = [np.zeros_like(p.data) for p in self._params]  # consolidated importance
         self._anchor = [p.data.copy() for p in self._params]             # theta^* (previous task end)

@@ -34,7 +34,9 @@ class Module:
         self._parameters: dict[str, Parameter] = {}
         self._buffers: dict[str, np.ndarray] = {}
         self._modules: dict[str, "Module"] = {}
-        self.training = True
+        # Train/eval mode is a runtime toggle, not model state: checkpoints
+        # restore parameters/buffers and the loader decides the mode.
+        self.training = True  # repro-lint: disable=SER002
 
     # ------------------------------------------------------------------
     # Attribute-based registration

@@ -1,0 +1,21 @@
+"""DET002 fixture: taint survives augmented assignment.
+
+Never imported — parsed by the lint fixture tests; trailing expect-markers
+are the golden violation list.
+"""
+
+import time
+
+from repro.tensor import engine
+
+
+def jittered_scale(base):
+    scale = float(base)
+    scale += time.time()  # the taint rides the augmented assignment
+    return engine.apply("mul", scale)  # expect: DET002
+
+
+def clean_scale(base):
+    scale = float(base)
+    scale += 1.0
+    return engine.apply("mul", scale)

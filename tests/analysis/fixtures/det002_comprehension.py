@@ -1,0 +1,16 @@
+"""DET002 fixture: comprehensions propagate iterable taint to their element."""
+
+import numpy as np
+
+from repro.tensor.tensor import Tensor
+
+
+def comprehension_flow(n):
+    draws = [np.random.rand() for _ in range(n)]
+    scaled = [d * 2.0 for d in draws]
+    return Tensor(scaled)  # expect: DET002
+
+
+def comprehension_clean(n, rng):
+    draws = [rng.random() for _ in range(n)]
+    return Tensor(draws)

@@ -1,0 +1,29 @@
+"""DET002 fixture: a nested function closes over a tainted binding."""
+
+import numpy as np
+
+from repro.tensor import engine
+
+
+def make_step():
+    jitter = np.random.rand()
+
+    def step(x):
+        return engine.apply("add", x, jitter)  # expect: DET002
+
+    return step
+
+
+def make_clean_step(rng):
+    jitter = rng.random()
+
+    def step(x):
+        return engine.apply("add", x, jitter)
+
+    return step
+
+
+def sanitized(x):
+    draws = np.random.rand(4)
+    count = len(draws)  # structural fact: deterministic
+    return engine.apply("mul", x, count)

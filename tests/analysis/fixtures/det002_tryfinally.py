@@ -1,0 +1,35 @@
+"""DET002 fixture: taint flows along try/except/finally paths."""
+
+import time
+
+from repro.tensor import engine
+
+
+def try_path(x):
+    stamp = 0.0
+    try:
+        stamp = time.time()
+        x = x + 1
+    except ValueError:
+        stamp = 1.0
+    finally:
+        return engine.apply("add", x, stamp)  # expect: DET002
+
+
+def handler_path(x):
+    seed = 0.0
+    try:
+        seed = time.perf_counter()
+        x = x + 1
+    except ValueError:
+        # seed may already hold the tainted read from the broken body.
+        return engine.apply("add", x, seed)  # expect: DET002
+    return x
+
+
+def clean_path(x):
+    stamp = 0.0
+    try:
+        x = x + 1
+    finally:
+        return engine.apply("add", x, stamp)

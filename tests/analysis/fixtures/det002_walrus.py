@@ -1,0 +1,17 @@
+"""DET002 fixture: a walrus binding carries taint into the sink."""
+
+import numpy as np
+
+from repro.tensor import engine
+
+
+def walrus_noise(x):
+    if (noise := np.random.rand()) > 0.5:
+        return engine.apply("add", x, noise)  # expect: DET002
+    return x
+
+
+def walrus_clean(x, rng):
+    if (noise := rng.random()) > 0.5:
+        return engine.apply("add", x, noise)
+    return x

@@ -1,0 +1,27 @@
+"""MP002 fixture: worker-path mutation of module state; pre-fork lock."""
+
+import threading
+
+_RESULT_CACHE: dict = {}
+_STEP_COUNT = None
+_LOCK = threading.Lock()  # expect: MP002
+
+
+def _record(key, value):
+    _RESULT_CACHE[key] = value  # expect: MP002
+
+
+def worker_main(conn):
+    global _STEP_COUNT
+    _STEP_COUNT = 0  # expect: MP002
+    while True:
+        message = conn.recv()
+        if message[0] == "stop":
+            return
+        _RESULT_CACHE.update({message[1]: message[2]})  # expect: MP002
+        _record(message[1], message[2])
+
+
+def parent_only(key, value):
+    """Not worker-reachable: the same mutation is fine here."""
+    _RESULT_CACHE[key] = value

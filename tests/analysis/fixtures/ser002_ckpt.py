@@ -1,0 +1,55 @@
+"""SER002 fixture: __init__ state missing from the checkpoint pair."""
+
+
+class Schedule:
+    def __init__(self, total, lr):
+        self.lr = lr                   # bare ctor-param pass-through: exempt
+        self.position = 0              # expect: SER002
+        self.history = []              # expect: SER002
+        self.total = int(total) * 2    # covered below via the "total" key
+
+    def state_dict(self):
+        return {"total": self.total}
+
+    def load_state_dict(self, state):
+        self.total = state["total"]
+
+
+class KeyedSchedule:
+    """Covers attrs through a class-level key tuple the pair iterates."""
+
+    _keys = ("rate", "decay")
+
+    def __init__(self, rate):
+        self.rate = float(rate) / 2
+        self.decay = 0.99
+
+    def state_dict(self):
+        return {key: getattr(self, key) for key in self._keys}
+
+    def load_state_dict(self, state):
+        for key in self._keys:
+            setattr(self, key, state[key])
+
+
+class HelperCovered:
+    """Coverage flows through a same-class helper method."""
+
+    def __init__(self, n):
+        self.count = int(n) + 1
+
+    def _payload(self):
+        return {"count": self.count}
+
+    def state_dict(self):
+        return self._payload()
+
+    def load_state_dict(self, state):
+        self.count = state["count"]
+
+
+class NoPair:
+    """No checkpoint promise, nothing to flag."""
+
+    def __init__(self):
+        self.scratch = {}

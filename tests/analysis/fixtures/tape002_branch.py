@@ -1,0 +1,39 @@
+"""TAPE002 fixture: tensor-valued control flow on the capture path."""
+
+from repro.tensor import engine
+from repro.tensor.tensor import Tensor
+
+
+class GatedBlock:
+    def forward(self, x):
+        out = Tensor(x)
+        if out.item() > 0:  # expect: TAPE002
+            out = out * 2
+        while out:  # expect: TAPE002
+            out = out - 1
+        return out
+
+
+class DeclaredStochastic:
+    """Declares itself capture-poisoning: exempt."""
+
+    def forward(self, x):
+        out = Tensor(x)
+        capture = engine.active_capture()
+        if capture is not None:
+            capture.mark_unsafe("data-dependent gate")
+        if out.item() > 0:
+            out = out * 2
+        return out
+
+
+class ShapeGated:
+    """Branches only on structural facts: stable, quiet."""
+
+    def forward(self, x):
+        out = Tensor(x)
+        if out.ndim > 2:
+            out = out.reshape(out.shape[0], -1)
+        if isinstance(out, Tensor):
+            return out
+        return Tensor(out)

@@ -1,0 +1,54 @@
+"""The self-lint gate: src + tests against the committed baseline.
+
+``test_lint_clean.py`` requires ``src/repro`` to be violation-free.  This
+gate extends coverage to the whole repository — including the test tree
+and the deliberately-violating dataflow fixtures — through the
+no-new-violations ratchet: everything pre-existing is pinned in
+``lint-baseline.json``; anything new fails here, inside the tier-1 pytest
+run, with no extra CI plumbing.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.analysis import run_lint
+from repro.analysis.output import Baseline
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+BASELINE = REPO_ROOT / "lint-baseline.json"
+
+
+def test_baseline_is_committed_and_tests_only():
+    assert BASELINE.is_file(), "lint-baseline.json must be committed"
+    entries = json.loads(BASELINE.read_text())["entries"]
+    assert entries, "the baseline should pin the deliberate test-tree findings"
+    offenders = [key for key in entries if key.startswith("src/")]
+    assert offenders == [], (
+        "src/repro must stay lint-clean outright (fix or suppress with "
+        f"justification, never baseline): {offenders}")
+
+
+def test_repo_has_no_new_violations():
+    violations = run_lint([REPO_ROOT / "src", REPO_ROOT / "tests"])
+    baseline = Baseline.load(BASELINE)
+    new, _ = baseline.partition(violations)
+    assert new == [], "\n".join(v.format() for v in new) + (
+        "\nnew lint violations — fix them, add a justified suppression, or "
+        "(for deliberate fixture findings only) re-pin with "
+        "`repro lint src tests --update-baseline --baseline lint-baseline.json`")
+
+
+def test_cli_json_gate_with_baseline():
+    """The documented CI invocation works end to end as a subprocess."""
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.analysis", "src", "tests",
+         "--format", "json", "--baseline", "lint-baseline.json",
+         "--no-cache"],
+        cwd=REPO_ROOT, capture_output=True, text=True,
+        env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+    doc = json.loads(result.stdout)
+    assert doc["count"] == 0

@@ -142,7 +142,7 @@ class TestPooling:
         for pool in (MaxPool2d(2), AvgPool2d(2)):
             xt = Tensor(x.copy(), requires_grad=True)
             pool(xt).sum().backward()
-            numerical = numerical_gradient(lambda t: pool(t), [x], 0)
+            numerical = numerical_gradient(lambda t, pool=pool: pool(t), [x], 0)
             np.testing.assert_allclose(xt.grad, numerical, atol=1e-4)
 
     def test_indivisible_size_raises(self):
