@@ -14,6 +14,8 @@ Codes
   (:class:`TapeBypassRule`)
 - ``MP001`` — shard-result summation bypassing the fixed-order tree
   reduction (:class:`ShardReductionRule`)
+- ``RB001`` — checkpoint-path writes bypassing the atomic writer, or IPC
+  ``recv`` without a poll deadline (:class:`RobustIORule`)
 
 Whole-program (dataflow/call-graph) rules:
 
@@ -38,6 +40,7 @@ from repro.analysis.rules.fork_safety import ForkSafetyRule
 from repro.analysis.rules.multiprocess import ShardReductionRule
 from repro.analysis.rules.perf import HotLoopDtypeRule
 from repro.analysis.rules.rng_flow import RNGTaintRule
+from repro.analysis.rules.robustness import RobustIORule
 from repro.analysis.rules.serialization import StateDictSerializableRule
 from repro.analysis.rules.tape import TapeBypassRule
 from repro.analysis.rules.tape_flow import ShapeStabilityRule
@@ -50,6 +53,7 @@ __all__ = [
     "InplaceMutationRule",
     "LateBindingClosureRule",
     "RNGTaintRule",
+    "RobustIORule",
     "SeedlessRNGRule",
     "ShapeStabilityRule",
     "ShardReductionRule",
@@ -61,7 +65,7 @@ __all__ = [
 
 _RULE_CLASSES = (SeedlessRNGRule, InplaceMutationRule, LateBindingClosureRule,
                  ExportHygieneRule, StateDictSerializableRule, HotLoopDtypeRule,
-                 TapeBypassRule, ShardReductionRule,
+                 TapeBypassRule, ShardReductionRule, RobustIORule,
                  RNGTaintRule, ShapeStabilityRule, ForkSafetyRule,
                  CheckpointContractRule)
 

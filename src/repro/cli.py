@@ -17,11 +17,17 @@ Commands
 ``list``     show available benchmarks, methods, selection strategies,
              replay losses, and objectives;
 ``lint``     run the repo-specific static analysis — single-file rules
-             (DET001/AD001/AD002/API001/SER001/PERF001/TAPE001/MP001) and
-             whole-program dataflow rules (DET002/TAPE002/MP002/SER002) —
-             plus the gradcheck-coverage audit; supports ``--format``
+             (DET001/AD001/AD002/API001/SER001/PERF001/TAPE001/MP001/RB001)
+             and whole-program dataflow rules (DET002/TAPE002/MP002/SER002)
+             — plus the gradcheck-coverage audit; supports ``--format``
              text/json/sarif, an incremental cache, and a baseline
              ratchet; exits non-zero on any non-baselined violation;
+``chaos``    run the seeded fault-injection campaign: every catalog
+             scenario (worker kills, torn checkpoint writes, loader
+             faults, NaN payloads, whole-process crashes) end-to-end
+             through the trainer plus the checkpoint crash-consistency
+             sweep, emitting a JSON survival report; every failure
+             reproduces exactly from its ``(seed, scenario)`` pair;
 ``bench``    run the op-registry microbenchmarks (fused-vs-unfused kernels,
              the SSL training-step bench, the tape eager-vs-replay bench,
              and the serial-vs-multiprocess sharded-step bench);
@@ -278,6 +284,30 @@ def _command_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_chaos(args: argparse.Namespace) -> int:
+    import json
+    import pathlib
+
+    from repro.faults.chaos import format_campaign, run_campaign
+    from repro.faults.scenarios import SCENARIOS, scenario_names
+
+    if args.list_scenarios:
+        for name in scenario_names():
+            scenario = SCENARIOS[name]
+            print(f"{name:24s} expect={scenario.expect:16s} "
+                  f"{scenario.description}")
+        return 0
+    report = run_campaign(seed=args.seed, names=args.scenarios or None,
+                          workdir=args.workdir,
+                          include_sweep=not args.skip_sweep)
+    print(format_campaign(report))
+    if args.output:
+        path = pathlib.Path(args.output)
+        path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+        print(f"survival report written to {path}")
+    return 0 if report["ok"] else 1
+
+
 def _command_list(_args: argparse.Namespace) -> int:
     print("benchmarks:", ", ".join(sorted(IMAGE_PRESETS)) + ", tabular")
     print("methods:   ", ", ".join(METHODS + ["multitask"]))
@@ -355,6 +385,27 @@ def build_parser() -> argparse.ArgumentParser:
     lint_parser.add_argument("--no-coverage", action="store_true",
                              help="skip the gradcheck-coverage audit")
     lint_parser.set_defaults(handler=_command_lint)
+
+    chaos_parser = subparsers.add_parser(
+        "chaos", help="seeded fault-injection campaign + crash sweep")
+    chaos_parser.add_argument("--seed", type=int, default=0,
+                              help="campaign seed; every scenario's fault "
+                                   "plan is a pure function of (seed, name)")
+    chaos_parser.add_argument("--scenarios", nargs="+", metavar="NAME",
+                              help="run only these catalog scenarios "
+                                   "(default: all; see --list)")
+    chaos_parser.add_argument("--workdir",
+                              help="keep run artifacts (checkpoints, event "
+                                   "logs) here instead of a temp dir")
+    chaos_parser.add_argument("--output", help="write the JSON survival "
+                                               "report here")
+    chaos_parser.add_argument("--skip-sweep", action="store_true",
+                              help="skip the checkpoint crash-consistency "
+                                   "sweep")
+    chaos_parser.add_argument("--list", dest="list_scenarios",
+                              action="store_true",
+                              help="list catalog scenarios and exit")
+    chaos_parser.set_defaults(handler=_command_chaos)
 
     bench_parser = subparsers.add_parser(
         "bench", help="op-registry microbenchmarks (fused vs unfused)")

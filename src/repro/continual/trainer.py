@@ -41,6 +41,7 @@ from repro.data.loader import DataLoader
 from repro.data.splits import TaskSequence
 from repro.eval.metrics import ContinualResult
 from repro.eval.protocol import evaluate_tasks
+from repro.faults import plane as _faults
 from repro.optim import SGD, Adam, ConstantLR, CosineLR
 from repro.parallel import N_SHARDS, ShardedStep, WorkerFailure
 from repro.runtime.checkpoint import CheckpointError, CheckpointManager
@@ -116,6 +117,7 @@ class ContinualTrainer:
         self._taped_step: TapedFunction | None = None
         self._sharded_step: ShardedStep | None = None
         self._shard_active = False
+        self._task_index = 0
         self.checkpoints = None
         log_path = None
         if checkpoint_dir is not None:
@@ -163,9 +165,19 @@ class ContinualTrainer:
             # Informational only: the sharded regime's results are
             # worker-count independent, so resume never reads this.
             meta = {"workers": self.config.workers, "n_shards": N_SHARDS}
-        path = self.checkpoints.save(
-            task_index, self._run_state(task_index, n_tasks, result),
-            meta=meta)
+        try:
+            path = self.checkpoints.save(
+                task_index, self._run_state(task_index, n_tasks, result),
+                meta=meta)
+        except (OSError, CheckpointError) as exc:
+            # Checkpointing is best-effort: a full disk or torn write must
+            # not kill a run that is otherwise training fine.  The failure
+            # is logged, the previous checkpoint stays the resume point
+            # (resume re-runs the lost tasks bit-for-bit), and the swept
+            # tmp residue is cleared on the next manager init.
+            self.log.append("checkpoint-failed", task_index=task_index,
+                            detail=clip_detail(exc))
+            return
         self.log.append("checkpoint", task_index=task_index, path=str(path))
 
     # ------------------------------------------------------------------
@@ -206,6 +218,10 @@ class ContinualTrainer:
                 result.record_row(accuracies)
                 result.elapsed_seconds = prior_elapsed + (time.perf_counter() - start)
                 self._save_checkpoint(task_index, n_tasks, result)
+                # Whole-process crash site (chaos scenarios): fires between
+                # the checkpoint commit and the next task, the window a
+                # SIGKILL would most likely land in on a long run.
+                _faults.fault_point("trainer.task.boundary")
                 if self.verbose:
                     print(f"[{method.name}] task {task_index + 1}/{n_tasks}: "
                           f"Acc={result.acc_at(task_index):.4f} Fgt={result.fgt_at(task_index):.4f}")
@@ -218,6 +234,10 @@ class ContinualTrainer:
         result.elapsed_seconds = prior_elapsed + (time.perf_counter() - start)
         return result
 
+    def _log_step_event(self, kind: str, **fields) -> None:
+        """Operational events from the sharded step (e.g. pool-degraded)."""
+        self.log.append(kind, task_index=self._task_index, **fields)
+
     # ------------------------------------------------------------------
     # One task, with the guardrail escalation ladder
     # ------------------------------------------------------------------
@@ -225,6 +245,7 @@ class ContinualTrainer:
         config = self.config
         method = self.method
         policy = self.guardrails
+        self._task_index = task_index
         method.augment = _build_augment(config, task.train.x)
 
         # Sharded regime: engages only when the config asks for it, the
@@ -246,7 +267,8 @@ class ContinualTrainer:
                 if self._sharded_step is None:
                     self._sharded_step = ShardedStep(
                         method.objective, config, task.train.x.shape[1:],
-                        workers=config.workers, use_tape=config.use_tape)
+                        workers=config.workers, use_tape=config.use_tape,
+                        on_event=self._log_step_event)
                 self._shard_active = True
 
         # Fresh tape per task: the trainable parameter set (heads, frozen
@@ -309,14 +331,33 @@ class ContinualTrainer:
         for epoch in range(config.epochs):
             schedule.step(epoch)
             loader.set_epoch(epoch)
-            for batch_index, (x_batch, _y_batch) in enumerate(loader):
-                event = self._guarded_step(x_batch, optimizer, task_index,
-                                           epoch, batch_index)
-                if event is None:
-                    continue
+            try:
+                for batch_index, (x_batch, _y_batch) in enumerate(loader):
+                    event = self._guarded_step(x_batch, optimizer, task_index,
+                                               epoch, batch_index)
+                    if event is None:
+                        continue
+                    skips += 1
+                    if skips > policy.max_skips_per_task:
+                        self.log.append("skip-budget-exhausted",
+                                        task_index=task_index,
+                                        epoch=epoch, skips=skips)
+                        return False
+            except OSError as exc:
+                # A persistent read fault survived the loader's bounded
+                # retries: the rest of this epoch is unreadable.  Under a
+                # guardrail policy it enters the ladder like a poisoned
+                # batch (skip the epoch, charge the skip budget); unguarded
+                # runs propagate it — data loss is not silently ignorable.
+                if policy is None:
+                    raise
                 skips += 1
+                self.log.append("loader-fault", action="skip-epoch",
+                                task_index=task_index, epoch=epoch,
+                                detail=clip_detail(exc))
                 if skips > policy.max_skips_per_task:
-                    self.log.append("skip-budget-exhausted", task_index=task_index,
+                    self.log.append("skip-budget-exhausted",
+                                    task_index=task_index,
                                     epoch=epoch, skips=skips)
                     return False
         return True

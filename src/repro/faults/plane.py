@@ -1,0 +1,272 @@
+"""The deterministic fault-injection plane.
+
+Every I/O and IPC choke point in the training stack calls a *site* —
+``fault_point("ckpt.arrays.tmp_written")``, ``corrupt("engine.dispatch",
+data)`` — which is a zero-overhead no-op until a :class:`FaultPlan` is
+armed (the hot-path guard is a single module-attribute bool check).  A
+plan is a pure value: a tuple of typed :class:`FaultEvent` records, each
+naming a site, a fault kind, and the 1-based *hit* (the N-th invocation of
+that site) at which it fires.  Plans are built by
+:mod:`repro.faults.scenarios` as a pure function of ``(seed, scenario)``,
+so any failing chaos run is exactly reproducible from those two values.
+
+Fault kinds
+-----------
+``io_error``          raise :class:`InjectedIOError` (an ``OSError``);
+                      ``transient=True`` marks it retryable — the bounded
+                      retry/backoff paths consume it, a second identical
+                      fault at the same call keeps failing
+``torn_write``        consumed by the atomic writer: write *truncated*
+                      bytes straight to the final path, then raise — the
+                      on-disk state a torn non-atomic write leaves behind
+``kill``              ``SIGKILL`` the calling process (crash sweep,
+                      worker-death scenarios)
+``worker_hang``       ignore ``SIGTERM`` and sleep ``seconds`` — a worker
+                      wedged in uninterruptible state; only the pool's
+                      ``kill()`` escalation can clear it
+``worker_exception``  raise :class:`InjectedWorkerError`
+``nan_payload``       consumed by :func:`corrupt`: poison the payload
+                      array with a NaN
+``loader_fault``      alias of ``io_error`` for data-loader sites
+``crash``             raise :class:`InjectedCrash` — a whole-process
+                      failure the trainer does *not* catch; the chaos
+                      harness treats it like a kill and exercises resume
+
+Arming is process-local by design: a forked worker re-arms its own
+filtered plan (:meth:`FaultPlan.for_worker`) with fresh hit counters, so
+parent and worker sites count independently.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultPlan",
+    "InjectedCrash",
+    "InjectedIOError",
+    "InjectedTornWrite",
+    "InjectedWorkerError",
+    "arm",
+    "armed",
+    "corrupt",
+    "current_plan",
+    "disarm",
+    "fault_point",
+    "site_counts",
+    "take_torn",
+]
+
+FAULT_KINDS = ("io_error", "torn_write", "kill", "worker_hang",
+               "worker_exception", "nan_payload", "loader_fault", "crash")
+
+#: Hot-path guard: sites check this single module attribute and return.
+ARMED = False
+
+
+class InjectedIOError(OSError):
+    """An injected I/O failure; ``transient`` marks it retryable."""
+
+    def __init__(self, site: str, transient: bool = False):
+        super().__init__(f"injected io_error at site {site!r}"
+                         + (" (transient)" if transient else ""))
+        self.site = site
+        self.transient = transient
+
+
+class InjectedTornWrite(InjectedIOError):
+    """An injected torn write: truncated bytes reached the final path."""
+
+    def __init__(self, site: str):
+        super().__init__(site, transient=False)
+
+
+class InjectedWorkerError(RuntimeError):
+    """An injected in-worker exception (reported, worker stays alive)."""
+
+    def __init__(self, site: str):
+        super().__init__(f"injected worker_exception at site {site!r}")
+        self.site = site
+
+
+class InjectedCrash(RuntimeError):
+    """An injected whole-process failure the trainer must *not* absorb.
+
+    Stands in for SIGKILL in in-process chaos scenarios: it escapes the
+    guardrail ladder (which only catches batch-level poison), unwinds the
+    run, and the chaos harness then exercises checkpoint resume.
+    """
+
+    def __init__(self, site: str):
+        super().__init__(f"injected crash at site {site!r}")
+        self.site = site
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault: fire ``kind`` at the ``hit``-th call of ``site``.
+
+    ``hit=0`` fires on *every* call (persistent fault); ``hit >= 1`` is a
+    one-shot at that occurrence.  ``worker`` restricts the event to one
+    worker index (``None`` = any process that owns the site).
+    """
+
+    site: str
+    kind: str
+    hit: int = 1
+    worker: int | None = None
+    transient: bool = False
+    seconds: float = 30.0
+
+    def __post_init__(self):
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; "
+                             f"known: {', '.join(FAULT_KINDS)}")
+        if self.hit < 0:
+            raise ValueError("hit must be >= 0 (0 = every occurrence)")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic schedule of fault events for one scenario run."""
+
+    seed: int
+    scenario: str
+    events: tuple[FaultEvent, ...] = field(default_factory=tuple)
+
+    def for_worker(self, index: int) -> "FaultPlan":
+        """The sub-plan a forked worker arms: its events plus shared ones."""
+        return replace(self, events=tuple(
+            e for e in self.events if e.worker is None or e.worker == index))
+
+    def describe(self) -> dict:
+        """JSON-safe summary for chaos reports."""
+        return {"seed": self.seed, "scenario": self.scenario,
+                "events": [{"site": e.site, "kind": e.kind, "hit": e.hit,
+                            "worker": e.worker, "transient": e.transient}
+                           for e in self.events]}
+
+
+class _PlaneState:
+    """Per-process runtime state of the armed plan (counters, fired set)."""
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self.counts: dict[str, int] = {}
+        self.fired: set[int] = set()
+
+    def match(self, site: str) -> FaultEvent | None:
+        count = self.counts.get(site, 0) + 1
+        self.counts[site] = count
+        for index, event in enumerate(self.plan.events):
+            if event.site != site:
+                continue
+            if event.hit == 0:
+                return event
+            if event.hit == count and index not in self.fired:
+                self.fired.add(index)
+                return event
+        return None
+
+
+_STATE: _PlaneState | None = None
+
+
+def arm(plan: FaultPlan) -> None:
+    """Arm ``plan`` in this process (fresh hit counters)."""
+    global ARMED, _STATE
+    # Injection state is process-local on purpose: each forked worker
+    # re-arms its own filtered plan (fresh counters), never shares the
+    # parent's.  See FaultPlan.for_worker / worker_main.
+    _STATE = _PlaneState(plan)  # repro-lint: disable=MP002
+    ARMED = True  # repro-lint: disable=MP002
+
+
+def disarm() -> None:
+    """Return every site to its zero-overhead no-op state."""
+    global ARMED, _STATE
+    ARMED = False  # repro-lint: disable=MP002
+    _STATE = None  # repro-lint: disable=MP002
+
+
+@contextmanager
+def armed(plan: FaultPlan):
+    """Context manager: arm ``plan``, always disarm on exit."""
+    arm(plan)
+    try:
+        yield plan
+    finally:
+        disarm()
+
+
+def current_plan() -> FaultPlan | None:
+    """The armed plan, if any (what a pool forwards to spawned workers)."""
+    return None if _STATE is None else _STATE.plan
+
+
+def site_counts() -> dict[str, int]:
+    """Sites observed since arming (site -> invocation count)."""
+    return {} if _STATE is None else dict(_STATE.counts)
+
+
+def fault_point(site: str) -> None:
+    """Declare an injection site; no-op unless a matching event is due.
+
+    Control-flow faults only — ``io_error``/``loader_fault`` raise,
+    ``kill`` SIGKILLs the process, ``worker_hang`` wedges it,
+    ``worker_exception`` raises, ``crash`` raises :class:`InjectedCrash`.
+    Payload faults (``nan_payload``) go through :func:`corrupt` and torn
+    writes through :func:`take_torn` instead.
+    """
+    if not ARMED:
+        return
+    event = _STATE.match(site)
+    if event is None:
+        return
+    if event.kind in ("io_error", "loader_fault"):
+        raise InjectedIOError(site, transient=event.transient)
+    if event.kind == "kill":
+        os.kill(os.getpid(), signal.SIGKILL)
+    if event.kind == "worker_hang":
+        # A hang that also shrugs off SIGTERM: the wedged-in-C-extension
+        # case that forces the pool's kill() escalation.
+        signal.signal(signal.SIGTERM, signal.SIG_IGN)
+        time.sleep(event.seconds)
+        return
+    if event.kind == "worker_exception":
+        raise InjectedWorkerError(site)
+    if event.kind == "crash":
+        raise InjectedCrash(site)
+
+
+def corrupt(site: str, array: np.ndarray) -> np.ndarray:
+    """Payload site: return ``array``, NaN-poisoned when an event is due.
+
+    The corruption is a copy — the caller's buffers are never mutated
+    behind autograd's back.
+    """
+    if not ARMED:
+        return array
+    event = _STATE.match(site)
+    if event is None or event.kind != "nan_payload":
+        return array
+    poisoned = np.array(array, copy=True)
+    if poisoned.size:
+        poisoned.reshape(-1)[0] = np.nan
+    return poisoned
+
+
+def take_torn(site: str) -> bool:
+    """Writer-side site: whether a ``torn_write`` event is due here."""
+    if not ARMED:
+        return False
+    event = _STATE.match(site)
+    return event is not None and event.kind == "torn_write"

@@ -4,14 +4,33 @@ Workers are long-lived processes (one :class:`ShardExecutor` each) fed over
 dedicated pipes; a step broadcasts the current parameter/buffer state and a
 round-robin assignment of micro-shards, then collects per-shard results.
 
-Failure handling is the point of this module: a worker that dies (killed,
-OOM, crashed interpreter) or stops answering within ``timeout`` seconds is
-detected on the next send/receive, every dead worker is respawned so the
-*next* step can proceed, and the step raises :class:`WorkerFailure` — the
-trainer maps that onto the PR-2 guardrail ladder (skip batch → restore +
-LR backoff → abort) instead of hanging on a silent pipe.  A worker that
-merely reports an exception (``("err", ...)``) stays alive and is not
-respawned; its traceback rides along in the failure.
+Failure handling is the point of this module:
+
+- every IPC message runs under its own deadline (``timeout`` seconds per
+  reply, not one flat budget for the whole step), with exponentially
+  backed-off polling and bounded retry of *transient* I/O errors on both
+  send and receive;
+- a worker that dies (killed, OOM, crashed interpreter) or stops answering
+  within its deadline is detected on the next send/receive, every dead
+  worker is respawned — itself with bounded retry + backoff — so the
+  *next* step can proceed, and the step raises :class:`WorkerFailure`;
+  the trainer maps that onto the PR-2 guardrail ladder (skip batch →
+  restore + LR backoff → abort) instead of hanging on a silent pipe;
+- a worker that cannot be respawned after :data:`RESPAWN_ATTEMPTS`
+  consecutive attempts marks the pool ``broken`` — the signal
+  :class:`~repro.parallel.step.ShardedStep` uses to degrade to the serial
+  regime mid-task instead of aborting the run;
+- :meth:`WorkerPool.close` escalates stop → ``terminate()`` → ``kill()``
+  and always closes every pipe in a ``finally``, so a wedged worker can
+  neither leak fds nor hang interpreter shutdown.
+
+A worker that merely reports an exception (``("err", ...)``) stays alive
+and is not respawned; its traceback rides along in the failure.
+
+Every I/O boundary here is a named fault-injection site
+(``pool.spawn`` / ``pool.send`` / ``pool.recv`` — see
+:mod:`repro.faults.plane`); the chaos harness drives them to prove the
+contracts above actually hold.
 """
 
 from __future__ import annotations
@@ -19,12 +38,31 @@ from __future__ import annotations
 import multiprocessing
 import time
 
+from repro.faults import plane as _faults
 from repro.parallel.worker import worker_main
 
 __all__ = ["WorkerFailure", "WorkerPool"]
 
-#: Seconds a step waits on one worker before declaring it hung.
+#: Seconds a step waits on one worker's reply (per message, not per step).
 DEFAULT_TIMEOUT = 120.0
+
+#: Bounded-retry budget for transient send faults and worker respawn.
+SEND_RETRIES = 3
+RESPAWN_ATTEMPTS = 2
+
+#: Exponential backoff bounds for IPC polling and retry sleeps.
+_POLL_MIN = 0.005
+_POLL_MAX = 0.25
+_BACKOFF_BASE = 0.01
+
+
+def _is_transient(exc: OSError) -> bool:
+    """Retryable I/O faults: interrupted/temporarily-blocked syscalls and
+    injected transients; a broken pipe is never retryable (the peer is
+    gone — retrying only hides the death)."""
+    if isinstance(exc, (InterruptedError, BlockingIOError)):
+        return True
+    return bool(getattr(exc, "transient", False))
 
 
 class WorkerFailure(RuntimeError):
@@ -32,7 +70,8 @@ class WorkerFailure(RuntimeError):
 
     The step's gradients are unusable; callers discard them and escalate
     (guardrail ladder) or propagate.  The pool has already respawned any
-    dead workers, so retrying the next batch is safe.
+    dead workers — unless ``pool.broken`` is set, in which case respawn
+    itself failed repeatedly and the pool cannot be healed.
     """
 
     def __init__(self, reason: str, shard_ids: tuple[int, ...] = ()):
@@ -62,7 +101,8 @@ class WorkerPool:
     config, sample_shape, use_tape:
         Forwarded to each worker's :class:`~repro.parallel.worker.ShardExecutor`.
     timeout:
-        Seconds to wait for one worker's step reply before declaring it hung.
+        Seconds to wait for one worker's step reply (per-message deadline)
+        before declaring it hung.
     """
 
     def __init__(self, n_workers: int, config, sample_shape,
@@ -79,6 +119,11 @@ class WorkerPool:
         self.processes: list = [None] * n_workers
         self._conns: list = [None] * n_workers
         self.respawns = 0
+        self.respawn_failures = 0
+        #: Set when a dead worker could not be respawned after
+        #: ``RESPAWN_ATTEMPTS`` tries; the pool cannot be healed and the
+        #: caller should degrade to the serial regime.
+        self.broken = False
         for index in range(n_workers):
             self._spawn(index)
 
@@ -86,10 +131,14 @@ class WorkerPool:
     # Lifecycle
     # ------------------------------------------------------------------
     def _spawn(self, index: int) -> None:
+        _faults.fault_point("pool.spawn")
+        plan = _faults.current_plan()
+        worker_plan = None if plan is None else plan.for_worker(index)
         parent_conn, child_conn = self._ctx.Pipe(duplex=True)
         process = self._ctx.Process(
             target=worker_main,
-            args=(child_conn, self.config, self.sample_shape, self.use_tape),
+            args=(child_conn, self.config, self.sample_shape, self.use_tape,
+                  worker_plan),
             name=f"repro-shard-worker-{index}", daemon=True)
         process.start()
         child_conn.close()
@@ -97,39 +146,69 @@ class WorkerPool:
         self._conns[index] = parent_conn
 
     def _respawn_dead(self) -> list[int]:
-        """Replace every dead worker; returns the indices respawned."""
+        """Replace every dead worker, retrying each with backoff.
+
+        Returns the indices successfully respawned; a worker that stays
+        dead after :data:`RESPAWN_ATTEMPTS` attempts marks the pool
+        ``broken`` (the degrade-to-serial signal) but never raises.
+        """
         replaced = []
         for index, process in enumerate(self.processes):
             if process is not None and process.is_alive():
                 continue
             if self._conns[index] is not None:
                 self._conns[index].close()
-            self._spawn(index)
-            self.respawns += 1
-            replaced.append(index)
+                self._conns[index] = None
+            for attempt in range(RESPAWN_ATTEMPTS):
+                try:
+                    self._spawn(index)
+                except OSError:
+                    self.respawn_failures += 1
+                    time.sleep(_BACKOFF_BASE * 2 ** attempt)
+                    continue
+                self.respawns += 1
+                replaced.append(index)
+                break
+            else:
+                self.processes[index] = None
+                self.broken = True
         return replaced
 
-    def close(self) -> None:
-        """Stop every worker; terminate any that ignore the request."""
-        for conn in self._conns:
-            if conn is None:
-                continue
-            try:
-                conn.send(("stop",))
-            except (BrokenPipeError, OSError):
-                pass
-        for process in self.processes:
-            if process is None:
-                continue
-            process.join(timeout=5.0)
-            if process.is_alive():
-                process.terminate()
-                process.join(timeout=5.0)
-        for conn in self._conns:
-            if conn is not None:
-                conn.close()
-        self.processes = [None] * self.n_workers
-        self._conns = [None] * self.n_workers
+    def close(self, grace: float = 5.0) -> None:
+        """Stop every worker, escalating stop → terminate → kill.
+
+        ``grace`` bounds each wait stage, so even a worker wedged in
+        uninterruptible state (ignoring SIGTERM) delays shutdown by at
+        most ``2 * grace`` before SIGKILL clears it.  Every pipe fd is
+        closed in a ``finally`` whatever the workers do.
+        """
+        try:
+            for conn in self._conns:
+                if conn is None:
+                    continue
+                try:
+                    conn.send(("stop",))
+                except (BrokenPipeError, OSError):
+                    pass
+            for process in self.processes:
+                if process is None:
+                    continue
+                process.join(timeout=grace)
+                if process.is_alive():
+                    process.terminate()
+                    process.join(timeout=grace)
+                if process.is_alive():
+                    process.kill()
+                    process.join(timeout=grace)
+        finally:
+            for conn in self._conns:
+                if conn is not None:
+                    try:
+                        conn.close()
+                    except OSError:  # pragma: no cover - already torn down
+                        pass
+            self.processes = [None] * self.n_workers
+            self._conns = [None] * self.n_workers
 
     def __enter__(self) -> "WorkerPool":
         return self
@@ -163,8 +242,10 @@ class WorkerPool:
         Raises
         ------
         WorkerFailure
-            If any worker died, hung past ``timeout``, or raised.  Dead
-            workers are respawned before the exception propagates.
+            If any worker died, hung past its per-message ``timeout``, or
+            raised.  Dead workers are respawned (with bounded retry)
+            before the exception propagates; if respawn itself failed
+            repeatedly the pool is left marked ``broken``.
         """
         self._step_id += 1
         step_id = self._step_id
@@ -179,20 +260,18 @@ class WorkerPool:
         for worker, jobs in assignment.items():
             if not jobs:
                 continue
-            try:
-                self._conns[worker].send(
-                    ("step", step_id, params, buffers, jobs))
+            error = self._send(worker, ("step", step_id, params, buffers, jobs))
+            if error is None:
                 busy.append(worker)
-            except (BrokenPipeError, OSError):
-                failures.append((worker, jobs, "died before dispatch"))
+            else:
+                failures.append((worker, jobs, error))
 
         losses: dict[int, object] = {}
         grads: dict[int, list] = {}
         shard0_buffers = None
-        deadline = time.monotonic() + self.timeout
         for worker in busy:
             jobs = assignment[worker]
-            reply = self._receive(worker, step_id, deadline)
+            reply = self._receive(worker, step_id)
             if not isinstance(reply, tuple):
                 failures.append((worker, jobs, str(reply)))
                 continue
@@ -216,24 +295,64 @@ class WorkerPool:
     class _Failed(str):
         """Sentinel reply carrying a failure reason."""
 
-    def _receive(self, worker: int, step_id: int, deadline: float):
-        """One worker's step reply, or a ``_Failed`` reason string."""
+    def _send(self, worker: int, payload) -> str | None:
+        """Send one message, retrying transient faults with backoff.
+
+        Returns ``None`` on success or the failure reason; a dead peer
+        (broken pipe) fails immediately — only transient I/O errors
+        consume the :data:`SEND_RETRIES` budget.
+        """
+        conn = self._conns[worker]
+        if conn is None:
+            return "not respawned (pool broken)"
+        for attempt in range(SEND_RETRIES):
+            try:
+                _faults.fault_point("pool.send")
+                conn.send(payload)
+                return None
+            except (BrokenPipeError, ConnectionResetError):
+                return "died before dispatch"
+            except OSError as exc:
+                if not _is_transient(exc) or attempt == SEND_RETRIES - 1:
+                    return f"send failed: {exc}"
+                time.sleep(_BACKOFF_BASE * 2 ** attempt)
+        return "send failed"  # pragma: no cover - loop always returns
+
+    def _receive(self, worker: int, step_id: int):
+        """One worker's step reply, or a ``_Failed`` reason string.
+
+        Runs under its own per-message deadline (``self.timeout`` from the
+        moment this reply is awaited), polling with exponential backoff;
+        transient recv faults are retried until the deadline, anything
+        else fails the worker.
+        """
         conn = self._conns[worker]
         process = self.processes[worker]
+        deadline = time.monotonic() + self.timeout
+        interval = _POLL_MIN
         while True:
             remaining = deadline - time.monotonic()
             if remaining <= 0:
                 return self._Failed(f"no reply within {self.timeout:.0f}s")
             try:
-                if not conn.poll(min(remaining, 0.05)):
+                if not conn.poll(min(remaining, interval)):
+                    interval = min(interval * 2, _POLL_MAX)
                     if not process.is_alive():
                         return self._Failed(
                             f"died mid-step (exitcode {process.exitcode})")
                     continue
+                _faults.fault_point("pool.recv")
+                # Safe to block: poll() above said a message is ready.
                 reply = conn.recv()
-            except (EOFError, BrokenPipeError, OSError):
+            except (EOFError, BrokenPipeError, ConnectionResetError):
                 return self._Failed(
                     f"pipe closed mid-step (exitcode {process.exitcode})")
+            except OSError as exc:
+                if not _is_transient(exc):
+                    return self._Failed(f"recv failed: {exc}")
+                time.sleep(interval)
+                interval = min(interval * 2, _POLL_MAX)
+                continue
             kind = reply[0]
             if kind == "err":
                 return self._Failed(f"raised during step: {reply[2]}")

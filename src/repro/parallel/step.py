@@ -27,6 +27,15 @@ sharded regime (each shard normalizes with its own statistics), so the
 regime defines them as *shard 0's*: shard 0 reports its post-forward buffer
 values and they are written back to the live model.  Worker-count
 independent, and applied identically by the serial reference.
+
+Graceful degradation: when the pool reports itself ``broken`` (a dead
+worker could not be respawned after bounded retries), the step does *not*
+surface the failure — it closes the pool, rebuilds the serial executor,
+re-runs the interrupted batch in-process, and continues the run in the
+``workers=1`` regime.  Because the shard plan and reduction schedule are
+pure functions of the batch (never of the worker count), the degraded run
+is bit-for-bit identical to one that ran serially from the start — no
+batch is skipped, no result changes.
 """
 
 from __future__ import annotations
@@ -66,18 +75,25 @@ class ShardedStep:
         numerical regime: every worker count must use the same value.
     timeout:
         Seconds to wait on a worker before treating it as hung.
+    on_event:
+        Optional callback ``(kind, **fields)`` for operational events the
+        caller should log (currently ``"pool-degraded"``).
     """
 
     def __init__(self, objective, config, sample_shape, workers: int = 1,
                  use_tape: bool = True, n_shards: int = N_SHARDS,
-                 timeout: float | None = None):
+                 timeout: float | None = None, on_event=None):
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.objective = objective
         self.parameters = objective.parameters()
         self.workers = workers
+        self.config = config
+        self.sample_shape = tuple(sample_shape)
+        self.use_tape = use_tape
         self.n_shards = n_shards
-        self.stats = {"steps": 0, "shards": 0}
+        self.on_event = on_event
+        self.stats = {"steps": 0, "shards": 0, "degraded": False}
         self.pool: WorkerPool | None = None
         self.executor: ShardExecutor | None = None
         if workers > 1:
@@ -94,6 +110,20 @@ class ShardedStep:
     def close(self) -> None:
         if self.pool is not None:
             self.pool.close()
+
+    def _degrade_to_serial(self, failure: WorkerFailure) -> None:
+        """Swap the broken pool for an in-process serial executor."""
+        pool = self.pool
+        self.pool = None
+        self.stats["degraded"] = True
+        if self.on_event is not None:
+            self.on_event("pool-degraded",
+                          detail=str(failure),
+                          respawn_failures=pool.respawn_failures,
+                          workers=self.workers)
+        pool.close()
+        self.executor = ShardExecutor(self.config, self.sample_shape,
+                                      use_tape=self.use_tape)
 
     def __enter__(self) -> "ShardedStep":
         return self
@@ -122,9 +152,18 @@ class ShardedStep:
 
         if self.pool is not None:
             shard_views = [(view1[piece], view2[piece]) for piece in plan]
-            losses, grads, shard0_buffers = self.pool.run_step(
-                params, buffers, shard_views)
-        else:
+            try:
+                losses, grads, shard0_buffers = self.pool.run_step(
+                    params, buffers, shard_views)
+            except WorkerFailure as failure:
+                if not self.pool.broken:
+                    raise
+                # Respawn failed twice: the pool cannot be healed.  Fall
+                # back to the serial regime and re-run this batch in
+                # process — nothing was accumulated yet, so the degraded
+                # run stays bit-for-bit identical to a workers=1 run.
+                self._degrade_to_serial(failure)
+        if self.pool is None:
             losses, grads, shard0_buffers = {}, {}, None
             for shard_id, piece in enumerate(plan):
                 loss, shard_grads, out_buffers = self.executor.run_shard(

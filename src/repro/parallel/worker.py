@@ -35,6 +35,7 @@ import traceback
 
 import numpy as np
 
+from repro.faults import plane as _faults
 from repro.tensor.tape import TapedFunction
 
 __all__ = ["ShardExecutor", "worker_main"]
@@ -116,26 +117,48 @@ class ShardExecutor:
         """
         self.load_state(params, buffers)
         self.objective.zero_grad(set_to_none=False)
+        _faults.fault_point("shard.step")
         loss = self._forward_backward(view1, view2)
         grads = [p.grad.copy() for p in self.parameters]
+        if _faults.ARMED and grads:
+            # Payload-corruption site: a nan_payload event poisons one
+            # gradient array, exactly what a bad reduce or a flaky host
+            # would hand back; the guardrail grad screen must catch it.
+            grads[0] = _faults.corrupt("shard.grads", grads[0])
         out_buffers = _collect_buffers(self.objective) if want_buffers else None
         return np.float32(loss.data), grads, out_buffers
 
 
-def worker_main(conn, config, sample_shape, use_tape: bool) -> None:
-    """Request/reply loop run inside each worker process."""
+def worker_main(conn, config, sample_shape, use_tape: bool,
+                fault_plan=None) -> None:
+    """Request/reply loop run inside each worker process.
+
+    ``fault_plan`` is this worker's filtered
+    :class:`~repro.faults.FaultPlan` slice (or ``None``): the plane is
+    always re-armed process-locally here — a forked child would otherwise
+    inherit the parent's armed state *and* its hit counters.
+    """
+    _faults.disarm()
+    if fault_plan is not None:
+        _faults.arm(fault_plan)
     executor = ShardExecutor(config, sample_shape, use_tape=use_tape)
     try:
         while True:
-            message = conn.recv()
+            # Blocking by design: the worker has nothing to do but wait on
+            # its parent, and a vanished parent surfaces as EOFError.
+            message = conn.recv()  # repro-lint: disable=RB001
             kind = message[0]
             if kind == "stop":
+                _faults.fault_point("worker.stop")
                 return
             if kind != "step":
                 conn.send(("err", None, f"unknown message kind {kind!r}"))
                 continue
             _kind, step_id, params, buffers, jobs = message
             try:
+                # kill/hang events escape the except below (they are not
+                # exceptions); worker_exception lands in the err reply.
+                _faults.fault_point("worker.step")
                 results = []
                 for shard_id, view1, view2, want_buffers in jobs:
                     loss, grads, out_buffers = executor.run_shard(

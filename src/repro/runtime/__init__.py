@@ -18,6 +18,7 @@ atomicity argument.
 """
 
 from repro.runtime.checkpoint import (
+    CHECKPOINT_SITES,
     CheckpointError,
     CheckpointManager,
     LoadedCheckpoint,
@@ -38,6 +39,7 @@ from repro.runtime.guardrail import (
 )
 
 __all__ = [
+    "CHECKPOINT_SITES",
     "CheckpointError",
     "CheckpointManager",
     "LoadedCheckpoint",

@@ -33,6 +33,7 @@ so a run checkpointed under ``--workers 3`` resumes bit-for-bit under
 from __future__ import annotations
 
 import hashlib
+import io
 import json
 import os
 import pathlib
@@ -42,7 +43,20 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.faults import plane as _faults
+
 SCHEMA_VERSION = 1
+
+#: Every fault-injection site on the checkpoint write path, in program
+#: order.  The crash-consistency sweep (:mod:`repro.faults.crashsweep`)
+#: kills a saving subprocess at each of these in turn and asserts
+#: ``load_latest`` still yields the previous or the new checkpoint —
+#: adding an I/O boundary to ``save`` means adding its site here (the
+#: sweep's probe pass fails if the two drift apart).
+_WRITE_STAGES = ("begin", "tmp_written", "tmp_fsynced", "replaced", "committed")
+CHECKPOINT_SITES = tuple(f"{prefix}.{stage}"
+                         for prefix in ("ckpt.arrays", "ckpt.manifest")
+                         for stage in _WRITE_STAGES)
 
 #: Marker key used in the manifest tree to reference an array in the npz.
 _ARRAY_REF = "__ndarray__"
@@ -126,16 +140,35 @@ def _fsync_directory(directory: pathlib.Path) -> None:
         os.close(fd)
 
 
-def atomic_write_bytes(path: pathlib.Path, data: bytes) -> None:
-    """Write ``data`` to ``path`` so readers see either nothing or all of it."""
+def atomic_write_bytes(path: pathlib.Path, data: bytes,
+                       site: str = "io.atomic_write") -> None:
+    """Write ``data`` to ``path`` so readers see either nothing or all of it.
+
+    ``site`` names this write's fault-injection points (five per write:
+    ``begin``/``tmp_written``/``tmp_fsynced``/``replaced``/``committed``)
+    — no-ops unless a :class:`repro.faults.FaultPlan` is armed.  An armed
+    ``torn_write`` event short-circuits the atomic dance entirely: it
+    writes *truncated* bytes straight to the final path and raises,
+    leaving exactly the corruption a non-atomic writer would have — the
+    state the loader's checksum fallback must survive.
+    """
     path = pathlib.Path(path)
+    if _faults.ARMED and _faults.take_torn(f"{site}.torn"):
+        with open(path, "wb") as handle:  # repro-lint: disable=RB001
+            handle.write(data[:max(1, len(data) // 2)])
+        raise _faults.InjectedTornWrite(site)
+    _faults.fault_point(f"{site}.begin")
     tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}")
     with open(tmp, "wb") as handle:
         handle.write(data)
         handle.flush()
+        _faults.fault_point(f"{site}.tmp_written")
         os.fsync(handle.fileno())
+    _faults.fault_point(f"{site}.tmp_fsynced")
     os.replace(tmp, path)
+    _faults.fault_point(f"{site}.replaced")
     _fsync_directory(path.parent)
+    _faults.fault_point(f"{site}.committed")
 
 
 def _array_checksum(array: np.ndarray) -> str:
@@ -180,6 +213,21 @@ class CheckpointManager:
         self.directory = pathlib.Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self.keep = keep
+        self.sweep_orphans()
+
+    def sweep_orphans(self) -> list[str]:
+        """Remove stale ``*.tmp-<pid>`` files a killed writer left behind.
+
+        Safe under the manager's single-writer-per-directory contract: a
+        temp file present at init can only be the residue of a crashed
+        save (the atomic dance never leaves one on success).  Returns the
+        removed names, for logging.
+        """
+        removed = []
+        for stale in self.directory.glob("ckpt-*.tmp-*"):
+            stale.unlink(missing_ok=True)
+            removed.append(stale.name)
+        return sorted(removed)
 
     # -- paths ----------------------------------------------------------
     def manifest_paths(self) -> list[pathlib.Path]:
@@ -209,12 +257,9 @@ class CheckpointManager:
         arrays_name, manifest_name = self._names(task_index)
         arrays_path = self.directory / arrays_name
 
-        tmp = arrays_path.with_name(f"{arrays_path.name}.tmp-{os.getpid()}")
-        with open(tmp, "wb") as handle:
-            np.savez_compressed(handle, **arrays)
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp, arrays_path)
+        buffer = io.BytesIO()
+        np.savez_compressed(buffer, **arrays)
+        atomic_write_bytes(arrays_path, buffer.getvalue(), site="ckpt.arrays")
 
         manifest = {
             "schema_version": SCHEMA_VERSION,
@@ -231,18 +276,53 @@ class CheckpointManager:
                                 "(ndarrays belong in the state tree)")
         manifest_path = self.directory / manifest_name
         atomic_write_bytes(manifest_path,
-                           json.dumps(manifest, indent=1).encode("utf-8"))
+                           json.dumps(manifest, indent=1).encode("utf-8"),
+                           site="ckpt.manifest")
         self._prune()
         return manifest_path
 
+    def _pair_is_valid(self, manifest_path: pathlib.Path) -> bool:
+        """Cheap pair validity: manifest parses and its npz file exists.
+
+        (Checksums are the loader's job; pruning only needs to know which
+        checkpoints could possibly restore, so that retention counts
+        *valid* checkpoints and a run of torn pairs can't evict the last
+        good one.)
+        """
+        try:
+            manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            return False
+        arrays_file = manifest.get("arrays_file")
+        return (isinstance(arrays_file, str)
+                and (self.directory / arrays_file).exists())
+
     def _prune(self) -> None:
+        """Retain the newest ``keep`` *valid* checkpoints.
+
+        Invalid pairs (manifest without npz, torn manifest) never count
+        toward ``keep`` and are removed along with anything older than
+        the retained set; orphan npz files below the newest retained
+        index (residue of a crash between the two writes) go too.
+        """
         if self.keep is None:
             return
         manifests = self.manifest_paths()
-        for stale in manifests[:-self.keep]:
-            stale_arrays = stale.with_suffix(".npz")
+        valid = [path for path in manifests if self._pair_is_valid(path)]
+        kept = set(valid[-self.keep:])
+        for stale in manifests:
+            if stale in kept:
+                continue
             stale.unlink(missing_ok=True)
-            stale_arrays.unlink(missing_ok=True)
+            stale.with_suffix(".npz").unlink(missing_ok=True)
+        if kept:
+            newest_kept = max(int(_MANIFEST_RE.match(p.name).group(1))
+                              for p in kept)
+            kept_arrays = {p.with_suffix(".npz").name for p in kept}
+            for npz in self.directory.glob("ckpt-*.npz"):
+                index = int(npz.stem.split("-")[1])
+                if npz.name not in kept_arrays and index < newest_kept:
+                    npz.unlink(missing_ok=True)
 
     # -- read -----------------------------------------------------------
     def _load_manifest(self, manifest_path: pathlib.Path) -> tuple[int, dict, dict]:

@@ -133,7 +133,10 @@ class RunLog:
         event = {"time": time.time(), "kind": kind, **fields}
         self.events.append(event)
         if self.path is not None:
-            with open(self.path, "a", encoding="utf-8") as handle:
+            # Append-only JSONL is crash-safe by construction: a torn last
+            # line cannot corrupt committed events, and readers skip it.
+            # The atomic writer would rewrite the whole log per event.
+            with open(self.path, "a", encoding="utf-8") as handle:  # repro-lint: disable=RB001
                 handle.write(json.dumps(event) + "\n")
                 handle.flush()
         return event

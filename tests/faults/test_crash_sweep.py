@@ -1,0 +1,88 @@
+"""The crash-consistency sweep: SIGKILL at every checkpoint I/O boundary.
+
+One :func:`repro.faults.crashsweep.run_sweep` invocation is the whole
+acceptance story — this module asserts the report it produces: coverage
+of 100% of the registered boundaries, every killed child actually died
+by SIGKILL, and every post-crash ``load_latest`` yielded the previous or
+the new checkpoint bit-for-bit (never a hybrid, never nothing).
+"""
+
+import json
+import signal
+
+import numpy as np
+import pytest
+
+from repro.faults.crashsweep import run_sweep, states_equal
+from repro.runtime.checkpoint import CHECKPOINT_SITES
+
+
+class TestStatesEqual:
+    def test_equal_trees_and_arrays(self):
+        a = {"w": np.arange(4, dtype=np.float32), "step": 3}
+        b = {"w": np.arange(4, dtype=np.float32), "step": 3}
+        assert states_equal(a, b)
+
+    def test_single_bit_difference_detected(self):
+        a = {"w": np.zeros(4, dtype=np.float32)}
+        b = {"w": np.zeros(4, dtype=np.float32)}
+        b["w"][2] = np.float32(1e-45)  # smallest possible flip
+        assert not states_equal(a, b)
+
+    def test_dtype_difference_detected(self):
+        assert not states_equal({"w": np.zeros(2, dtype=np.float32)},
+                                {"w": np.zeros(2, dtype=np.float64)})
+
+    def test_nans_compare_equal(self):
+        # Accuracy matrices are NaN-padded by construction.
+        a = {"acc": np.array([[1.0, np.nan]], dtype=np.float64)}
+        b = {"acc": np.array([[1.0, np.nan]], dtype=np.float64)}
+        assert states_equal(a, b)
+
+    def test_tree_difference_detected(self):
+        assert not states_equal({"step": 3}, {"step": 4})
+
+
+class TestSweep:
+    @pytest.fixture(scope="class")
+    def report(self, tmp_path_factory):
+        return run_sweep(tmp_path_factory.mktemp("sweep"), seed=0)
+
+    def test_sweep_is_green(self, report):
+        failing = [case for case in report["cases"] if not case["ok"]]
+        assert report["ok"], f"failing cases: {failing}"
+
+    def test_covers_every_registered_boundary(self, report):
+        assert report["coverage"]["complete"]
+        kill_sites = {case["site"] for case in report["cases"]
+                      if case["mode"] == "kill"}
+        assert kill_sites == set(CHECKPOINT_SITES)
+
+    def test_every_child_died_by_sigkill(self, report):
+        for case in report["cases"]:
+            if case["mode"] == "kill":
+                assert case["exitcode"] == -signal.SIGKILL, case
+
+    def test_loads_are_previous_or_new_never_corrupt(self, report):
+        for case in report["cases"]:
+            assert case["loaded"] in ("previous", "new"), case
+
+    def test_torn_cases_fall_back_to_previous(self, report):
+        torn = [case for case in report["cases"] if case["mode"] == "torn"]
+        assert len(torn) == 2
+        assert all(case["loaded"] == "previous" for case in torn)
+
+    def test_manifest_commit_point_semantics(self, report):
+        # The manifest is the commit point: a kill before its replace
+        # loads the previous checkpoint, a kill after loads the new one.
+        by_site = {case["site"]: case["loaded"] for case in report["cases"]}
+        assert by_site["ckpt.manifest.tmp_fsynced"] == "previous"
+        assert by_site["ckpt.manifest.replaced"] == "new"
+        assert by_site["ckpt.manifest.committed"] == "new"
+        # Killing anywhere in the arrays write never commits.
+        for stage in ("begin", "tmp_written", "tmp_fsynced",
+                      "replaced", "committed"):
+            assert by_site[f"ckpt.arrays.{stage}"] == "previous"
+
+    def test_report_is_json_serializable(self, report):
+        json.dumps(report)

@@ -1,0 +1,190 @@
+"""Hardened worker-IPC paths: deadlines, retries, escalation, degradation.
+
+Four contracts from the pool's failure model, each driven by an armed
+:class:`~repro.faults.FaultPlan` against real worker processes:
+
+- transient send/recv faults are absorbed by bounded retry and never
+  surface as a :class:`WorkerFailure`;
+- a hung worker trips the per-message deadline instead of hanging the
+  trainer, and ``close()`` clears it via the kill escalation;
+- a worker that ignores stop *and* SIGTERM delays ``close()`` by at most
+  the bounded grace stages before SIGKILL clears it, with every pipe fd
+  closed;
+- a dead worker whose respawn fails :data:`RESPAWN_ATTEMPTS` times marks
+  the pool ``broken`` and :class:`ShardedStep` degrades to the serial
+  regime mid-batch, bit-for-bit identical to an uninjected ``workers=1``
+  run.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.continual import build_objective
+from repro.faults import plane
+from repro.faults.plane import FaultEvent, FaultPlan
+from repro.parallel import ShardedStep, WorkerFailure
+from repro.parallel.pool import RESPAWN_ATTEMPTS, WorkerPool
+
+from tests.parallel.test_parity import FEATURES, STEP_CONFIG, _make_batches
+
+SEED = 31337
+
+
+@pytest.fixture(autouse=True)
+def always_disarmed():
+    plane.disarm()
+    yield
+    plane.disarm()
+
+
+def make_objective():
+    objective = build_objective(STEP_CONFIG, (FEATURES,),
+                                np.random.default_rng(SEED))
+    objective.train()
+    return objective
+
+
+def plan(*events) -> FaultPlan:
+    return FaultPlan(seed=0, scenario="pool-hardening", events=tuple(events))
+
+
+def serial_reference(batch):
+    """Loss and grads of the uninjected workers=1 run of one batch."""
+    objective = make_objective()
+    with ShardedStep(objective, STEP_CONFIG, (FEATURES,), workers=1) as step:
+        objective.zero_grad(set_to_none=False)
+        loss = step.loss_backward(*batch)
+    return (np.float32(loss.data),
+            [p.grad.copy() for p in objective.parameters()])
+
+
+@pytest.mark.slow
+class TestTransientRetry:
+    def test_transient_send_fault_is_retried_not_fatal(self):
+        batch = _make_batches(1, 12)[0]
+        objective = make_objective()
+        with ShardedStep(objective, STEP_CONFIG, (FEATURES,),
+                         workers=2, timeout=30.0) as step:
+            # Armed after the pool exists, so spawn sites stay quiet.
+            with plane.armed(plan(FaultEvent("pool.send", "io_error",
+                                             hit=1, transient=True))):
+                objective.zero_grad(set_to_none=False)
+                loss = step.loss_backward(*batch)
+                # Two workers need two sends; the retry makes it three.
+                assert plane.site_counts()["pool.send"] == 3
+        expected_loss, expected_grads = serial_reference(batch)
+        np.testing.assert_array_equal(np.float32(loss.data), expected_loss)
+        for slot, (param, grad) in enumerate(zip(objective.parameters(),
+                                                 expected_grads)):
+            np.testing.assert_array_equal(param.grad, grad,
+                                          err_msg=f"grad[{slot}]")
+
+    def test_transient_recv_fault_is_retried_not_fatal(self):
+        batch = _make_batches(1, 12)[0]
+        objective = make_objective()
+        with ShardedStep(objective, STEP_CONFIG, (FEATURES,),
+                         workers=2, timeout=30.0) as step:
+            with plane.armed(plan(FaultEvent("pool.recv", "io_error",
+                                             hit=1, transient=True))):
+                objective.zero_grad(set_to_none=False)
+                step.loss_backward(*batch)
+                assert plane.site_counts()["pool.recv"] >= 3
+
+    def test_persistent_send_fault_fails_the_worker(self):
+        batch = _make_batches(1, 12)[0]
+        objective = make_objective()
+        with ShardedStep(objective, STEP_CONFIG, (FEATURES,),
+                         workers=2, timeout=30.0) as step:
+            with plane.armed(plan(FaultEvent("pool.send", "io_error",
+                                             hit=1, transient=False))):
+                objective.zero_grad(set_to_none=False)
+                with pytest.raises(WorkerFailure, match="send failed"):
+                    step.loss_backward(*batch)
+            assert not step.pool.broken  # the worker itself is healthy
+
+
+@pytest.mark.slow
+class TestDeadlinesAndEscalation:
+    def test_hung_worker_trips_the_per_message_deadline(self):
+        batch = _make_batches(1, 12)[0]
+        hang = plan(FaultEvent("worker.step", "worker_hang", hit=1,
+                               worker=0, seconds=20.0))
+        # Armed before the pool spawns, so worker 0 inherits its slice.
+        with plane.armed(hang):
+            step = ShardedStep(make_objective(), STEP_CONFIG, (FEATURES,),
+                               workers=2, timeout=1.0)
+        try:
+            started = time.monotonic()
+            with pytest.raises(WorkerFailure, match="no reply within"):
+                step.loss_backward(*batch)
+            assert time.monotonic() - started < 10.0
+        finally:
+            # The wedged worker ignores SIGTERM; close() must still
+            # return promptly via the kill escalation.
+            procs = [p for p in step.pool.processes if p is not None]
+            started = time.monotonic()
+            step.pool.close(grace=0.2)
+            assert time.monotonic() - started < 10.0
+            assert all(not p.is_alive() for p in procs)
+
+    def test_close_escalates_to_kill_on_a_stop_ignoring_worker(self):
+        wedge = plan(FaultEvent("worker.stop", "worker_hang", hit=1,
+                                worker=0, seconds=30.0))
+        with plane.armed(wedge):
+            pool = WorkerPool(1, STEP_CONFIG, (FEATURES,), timeout=5.0)
+        proc = pool.processes[0]
+        started = time.monotonic()
+        pool.close(grace=0.3)
+        elapsed = time.monotonic() - started
+        assert elapsed < 10.0, f"close() took {elapsed:.1f}s"
+        assert not proc.is_alive()
+        # Every pipe fd was closed in the finally.
+        assert pool._conns == [None]
+        assert pool.processes == [None]
+
+
+@pytest.mark.slow
+class TestDegradeToSerial:
+    def test_double_respawn_failure_degrades_bit_for_bit(self):
+        batch = _make_batches(1, 12)[0]
+        # Worker 0 dies on its first step; pool.spawn hits 1-2 were the
+        # initial spawns, so hits 3-4 are exactly the RESPAWN_ATTEMPTS
+        # retries — failing both breaks the pool.
+        assert RESPAWN_ATTEMPTS == 2
+        degrade = plan(
+            FaultEvent("worker.step", "kill", hit=1, worker=0),
+            FaultEvent("pool.spawn", "io_error", hit=3),
+            FaultEvent("pool.spawn", "io_error", hit=4),
+        )
+        objective = make_objective()
+        with plane.armed(degrade):
+            with ShardedStep(objective, STEP_CONFIG, (FEATURES,),
+                             workers=2, timeout=30.0) as step:
+                objective.zero_grad(set_to_none=False)
+                # No WorkerFailure escapes: the interrupted batch is
+                # re-run in-process by the serial fallback.
+                loss = step.loss_backward(*batch)
+                assert step.pool is None
+                assert step.stats["degraded"] is True
+
+        expected_loss, expected_grads = serial_reference(batch)
+        np.testing.assert_array_equal(np.float32(loss.data), expected_loss)
+        for slot, (param, grad) in enumerate(zip(objective.parameters(),
+                                                 expected_grads)):
+            np.testing.assert_array_equal(param.grad, grad,
+                                          err_msg=f"grad[{slot}]")
+
+    def test_unbroken_pool_failures_still_raise(self):
+        batch = _make_batches(1, 12)[0]
+        # A kill with healthy respawn must keep the PR-5 contract:
+        # WorkerFailure propagates into the guardrail ladder.
+        kill = plan(FaultEvent("worker.step", "kill", hit=1, worker=0))
+        with plane.armed(kill):
+            with ShardedStep(make_objective(), STEP_CONFIG, (FEATURES,),
+                             workers=2, timeout=30.0) as step:
+                with pytest.raises(WorkerFailure):
+                    step.loss_backward(*batch)
+                assert step.pool.broken is False
+                assert step.pool.respawns == 1

@@ -5,6 +5,7 @@ import json
 import numpy as np
 import pytest
 
+from repro.faults import plane
 from repro.runtime import (
     CheckpointManager,
     check_serializable,
@@ -178,3 +179,73 @@ class TestCheckpointManager:
         loaded = manager.load_latest()
         np.testing.assert_array_equal(loaded.state["v"], [2.0])
         assert len(manager.manifest_paths()) == 1
+
+
+def torn_manifest_save(manager, task_index, state):
+    """Save with the manifest write torn (truncated bytes at the final path)."""
+    plan = plane.FaultPlan(
+        seed=0, scenario="torn-manifest",
+        events=(plane.FaultEvent(site="ckpt.manifest.torn",
+                                 kind="torn_write"),))
+    with plane.armed(plan), pytest.raises(plane.InjectedTornWrite):
+        manager.save(task_index, state)
+
+
+class TestPartialStates:
+    """Crash residue: stale temps, half-written pairs, torn manifests."""
+
+    def test_stale_tmp_files_swept_on_init(self, tmp_path):
+        stale = tmp_path / "ckpt-00002.npz.tmp-4242"
+        stale.write_bytes(b"partial write residue")
+        CheckpointManager(tmp_path)
+        assert not stale.exists()
+
+    def test_sweep_orphans_reports_removed_names(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        stale = tmp_path / "ckpt-00001.json.tmp-99"
+        stale.write_text("{", encoding="utf-8")
+        assert manager.sweep_orphans() == [stale.name]
+        assert not stale.exists()
+
+    def test_manifest_without_npz_never_counts_toward_keep(self, tmp_path):
+        manager = CheckpointManager(tmp_path, keep=2)
+        for index in range(3):
+            manager.save(index, {"v": np.array([float(index)])})
+        # Crash residue: checkpoint 2 lost its arrays between the writes.
+        (tmp_path / "ckpt-00002.npz").unlink()
+        manager.save(3, {"v": np.array([3.0])})
+        names = [path.name for path in manager.manifest_paths()]
+        assert names == ["ckpt-00001.json", "ckpt-00003.json"]
+        assert manager.load_latest().task_index == 3
+
+    def test_npz_without_manifest_is_pruned_as_an_orphan(self, tmp_path):
+        manager = CheckpointManager(tmp_path, keep=1)
+        manager.save(0, {"v": np.array([0.0])})
+        manager.save(1, {"v": np.array([1.0])})
+        # Crash residue: arrays committed, manifest never made it.
+        (tmp_path / "ckpt-00001.json").unlink()
+        manager.save(2, {"v": np.array([2.0])})
+        remaining = sorted(path.name for path in tmp_path.glob("ckpt-*"))
+        assert remaining == ["ckpt-00002.json", "ckpt-00002.npz"]
+        assert manager.load_latest().task_index == 2
+
+    def test_load_latest_skips_torn_manifest(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        manager.save(0, {"v": np.array([0.0])})
+        torn_manifest_save(manager, 1, {"v": np.array([1.0])})
+        loaded = manager.load_latest()
+        assert loaded.task_index == 0
+        assert len(loaded.skipped) == 1
+
+    def test_torn_pairs_cannot_evict_the_last_good_checkpoint(self, tmp_path):
+        manager = CheckpointManager(tmp_path, keep=1)
+        manager.save(0, {"v": np.array([0.0])})
+        for index in (1, 2):
+            torn_manifest_save(manager, index, {"v": np.array([float(index)])})
+        # Retention counts *valid* checkpoints: the two torn newcomers
+        # are removed, task 0 survives as the keep=1 retained set.
+        manager._prune()
+        assert [p.name for p in manager.manifest_paths()] == ["ckpt-00000.json"]
+        loaded = manager.load_latest()
+        assert loaded.task_index == 0
+        assert loaded.skipped == []

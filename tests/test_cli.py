@@ -64,6 +64,24 @@ class TestCommands:
         assert main(["run", "finetune", "tabular", "--epochs", "1"]) == 0
         assert "Acc =" in capsys.readouterr().out
 
+    def test_chaos_list_prints_catalog(self, capsys):
+        assert main(["chaos", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "baseline" in out
+        assert "pool-degrade-serial" in out
+
+    def test_chaos_single_scenario_writes_report(self, capsys, tmp_path):
+        output = tmp_path / "chaos.json"
+        code = main(["chaos", "--scenarios", "ckpt-io-error", "--skip-sweep",
+                     "--workdir", str(tmp_path / "runs"),
+                     "--output", str(output)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "overall: OK" in out
+        report = json.loads(output.read_text())
+        assert report["ok"]
+        assert [e["scenario"] for e in report["scenarios"]] == ["ckpt-io-error"]
+
 
 class TestFaultToleranceFlags:
     def test_run_parses_checkpoint_flags(self):
