@@ -3,11 +3,12 @@
 ``python -m repro bench`` runs the suite; see :mod:`repro.bench.suites`
 for what is measured and :mod:`repro.bench.harness` for how.  The committed
 baselines live at the repo root (``BENCH_pr3.json``, ``BENCH_pr4.json``,
-``BENCH_pr5.json``).
+``BENCH_pr5.json``, ``BENCH_pr8.json``).
 """
 
 from repro.bench.harness import BenchTiming, speedup, time_callable
 from repro.bench.suites import (
+    MEMORY_BENCH_STEPS,
     PRE_REFACTOR_REFERENCE,
     REQUIRED_SPEEDUP,
     SHARDING_BENCH_WORKERS,
@@ -15,6 +16,7 @@ from repro.bench.suites import (
     TAPE_REQUIRED_SPEEDUP,
     build_ssl_step,
     format_report,
+    memory_bench,
     op_microbenches,
     run_suite,
     sharding_bench,
@@ -23,6 +25,7 @@ from repro.bench.suites import (
 )
 
 __all__ = [
+    "MEMORY_BENCH_STEPS",
     "PRE_REFACTOR_REFERENCE",
     "REQUIRED_SPEEDUP",
     "SHARDING_BENCH_WORKERS",
@@ -31,6 +34,7 @@ __all__ = [
     "BenchTiming",
     "build_ssl_step",
     "format_report",
+    "memory_bench",
     "op_microbenches",
     "run_suite",
     "sharding_bench",

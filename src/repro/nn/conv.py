@@ -6,12 +6,16 @@ the col2im scatter runs in vectorized numpy instead of through generic
 indexing, and the bias add is fused into the same kernel.  Layout is NCHW
 throughout, matching the torch convention the paper's models assume.
 
-The unfolded patch matrix is the dominant allocation of a CNN step, so each
-``Conv2d`` layer keeps a :class:`_ColBufferPool`: forward acquires a col
-buffer from the pool and backward releases it once the weight gradient has
-consumed it (under ``no_grad`` it is released immediately).  Acquire/release
-rather than a single cached slot because SSL methods run two augmented
-forwards before one backward.
+The unfolded patch matrix is the dominant allocation of a CNN step.  Its
+storage comes from :mod:`repro.tensor.memplan`: under a planned tape
+replay the planner hands the op an arena slab sized from
+``Conv2dOp.plan_buffers`` (zero fresh allocations on a warm replay);
+everywhere else the process-wide scratch cache provides the same
+acquire/release reuse the old per-layer ``_ColBufferPool`` used to —
+acquire in forward, release once the weight gradient has consumed the
+buffer (immediately under ``no_grad``), acquire/release rather than a
+single cached slot because SSL methods run two augmented forwards before
+one backward.
 """
 
 from __future__ import annotations
@@ -20,45 +24,35 @@ import numpy as np
 
 from repro.nn import init
 from repro.nn.module import Module, Parameter
-from repro.tensor.engine import Context, Op, apply, is_grad_enabled, register
+from repro.tensor import memplan
+from repro.tensor.engine import Context, Op, apply, register
 from repro.tensor.tensor import Tensor
 from repro.utils.rng import fallback_rng
 
 
-class _ColBufferPool:
-    """Reusable buffers for im2col patch matrices, keyed by shape."""
-
-    def __init__(self):
-        self._free: dict[tuple, list[np.ndarray]] = {}
-
-    def acquire(self, shape: tuple[int, ...], dtype) -> np.ndarray:
-        key = (shape, np.dtype(dtype).str)
-        bucket = self._free.get(key)
-        if bucket:
-            return bucket.pop()
-        return np.empty(shape, dtype=dtype)
-
-    def release(self, buf: np.ndarray) -> None:
-        key = (buf.shape, buf.dtype.str)
-        self._free.setdefault(key, []).append(buf)
-
-    def __deepcopy__(self, memo):
-        # Pooled scratch is not model state; clones start with a fresh pool.
-        return _ColBufferPool()
+def _out_hw(h: int, w: int, kernel: int, stride: int, padding: int) -> tuple[int, int]:
+    return ((h + 2 * padding - kernel) // stride + 1,
+            (w + 2 * padding - kernel) // stride + 1)
 
 
-def _im2col(x: np.ndarray, kernel: int, stride: int, padding: int,
-            pool: _ColBufferPool | None = None) -> tuple[np.ndarray, int, int]:
+def _im2col(x: np.ndarray, kernel: int, stride: int,
+            padding: int) -> tuple[np.ndarray, int, int]:
     """Unfold ``x`` (N, C, H, W) into (N, out_h, out_w, C*k*k) patches.
 
-    When a ``pool`` is given the destination array comes from it and must be
-    released by the caller once backward no longer needs it.
+    The destination buffer comes from :func:`repro.tensor.memplan.acquire`
+    and must be released by the caller once backward no longer needs it.
     """
     n, c, h, w = x.shape
+    out_h, out_w = _out_hw(h, w, kernel, stride, padding)
+    padded = None
     if padding:
-        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
-    out_h = (h + 2 * padding - kernel) // stride + 1
-    out_w = (w + 2 * padding - kernel) // stride + 1
+        # Zero-fill + interior copy: value-identical to np.pad's constant
+        # mode, but into reusable (plannable) storage.
+        padded = memplan.acquire(
+            (n, c, h + 2 * padding, w + 2 * padding), x.dtype)
+        padded.fill(0)
+        padded[:, :, padding:-padding, padding:-padding] = x
+        x = padded
     strides = x.strides
     shape = (n, c, out_h, out_w, kernel, kernel)
     view = np.lib.stride_tricks.as_strided(
@@ -68,10 +62,12 @@ def _im2col(x: np.ndarray, kernel: int, stride: int, padding: int,
         writeable=False,
     )
     col_shape = (n, out_h, out_w, c, kernel, kernel)
-    cols = pool.acquire(col_shape, x.dtype) if pool is not None else np.empty(col_shape, dtype=x.dtype)
+    cols = memplan.acquire(col_shape, x.dtype)
     # (N, C, out_h, out_w, k, k) -> (N, out_h, out_w, C, k, k), materialized
-    # into the pooled buffer.
+    # into the scratch buffer.
     np.copyto(cols, view.transpose(0, 2, 3, 1, 4, 5))
+    if padded is not None:
+        memplan.release(padded)
     return cols.reshape(n, out_h, out_w, c * kernel * kernel), out_h, out_w
 
 
@@ -79,8 +75,7 @@ def _col2im(cols: np.ndarray, x_shape: tuple[int, int, int, int], kernel: int,
             stride: int, padding: int) -> np.ndarray:
     """Scatter-add (N, out_h, out_w, C*k*k) patch gradients back to x."""
     n, c, h, w = x_shape
-    out_h = (h + 2 * padding - kernel) // stride + 1
-    out_w = (w + 2 * padding - kernel) // stride + 1
+    out_h, out_w = _out_hw(h, w, kernel, stride, padding)
     padded = np.zeros((n, c, h + 2 * padding, w + 2 * padding), dtype=cols.dtype)
     cols = cols.reshape(n, out_h, out_w, c, kernel, kernel).transpose(0, 3, 1, 2, 4, 5)
     # k*k iterations over kernel offsets, not over array elements: each
@@ -97,33 +92,60 @@ def _col2im(cols: np.ndarray, x_shape: tuple[int, int, int, int], kernel: int,
 
 @register
 class Conv2dOp(Op):
-    """im2col convolution with fused bias and pooled col buffers.
+    """im2col convolution with fused bias and planner-declared scratch.
 
     Inputs: ``x`` (N, C_in, H, W), ``weight`` (C_in*k*k, C_out) and an
-    optional trailing ``bias`` (C_out,).  Params carry the geometry and the
-    layer's buffer pool.
+    optional trailing ``bias`` (C_out,).  Params carry the geometry.
     """
 
     name = "conv2d"
 
     @staticmethod
     def forward(ctx: Context, x, w, *bias, kernel: int, stride: int,
-                padding: int, pool: _ColBufferPool):
+                padding: int, out=None):
         n = x.shape[0]
-        cols, out_h, out_w = _im2col(x, kernel, stride, padding, pool)
+        cols, out_h, out_w = _im2col(x, kernel, stride, padding)
         flat = cols.reshape(-1, cols.shape[-1])            # (N*oh*ow, Cin*k*k)
-        out_flat = flat @ w                                # (N*oh*ow, Cout)
-        if bias:
-            out_flat += bias[0]
-        out = out_flat.reshape(n, out_h, out_w, w.shape[1]).transpose(0, 3, 1, 2)
+        if out is None:
+            out_flat = flat @ w                            # (N*oh*ow, Cout)
+            if bias:
+                out_flat += bias[0]
+            result = np.ascontiguousarray(
+                out_flat.reshape(n, out_h, out_w, w.shape[1]).transpose(0, 3, 1, 2))
+        else:
+            out_flat = memplan.acquire((flat.shape[0], w.shape[1]), out.dtype)
+            np.matmul(flat, w, out=out_flat)
+            if bias:
+                out_flat += bias[0]
+            # Same element copy np.ascontiguousarray performs, into the slab.
+            np.copyto(out, out_flat.reshape(n, out_h, out_w, w.shape[1])
+                      .transpose(0, 3, 1, 2))
+            memplan.release(out_flat)
+            result = out
         if any(ctx.needs_input_grad):
             ctx.save(flat, w)
             ctx.geometry = (x.shape, kernel, stride, padding, out_h, out_w)
-            ctx.pool = pool
             ctx.cols = cols
         else:
-            pool.release(cols.reshape(n, out_h, out_w, -1, kernel, kernel))
-        return np.ascontiguousarray(out)
+            memplan.release(cols.reshape(n, out_h, out_w, -1, kernel, kernel))
+        return result
+
+    @classmethod
+    def plan_buffers(cls, params, input_specs):
+        (sx, dx), (sw, dw) = input_specs[:2]
+        kernel, stride = params["kernel"], params["stride"]
+        padding = params["padding"]
+        n, c, h, w = sx
+        out_h, out_w = _out_hw(h, w, kernel, stride, padding)
+        c_out = sw[1]
+        dtype = np.result_type(dx, dw).str
+        scratch = []
+        if padding:
+            scratch.append(((n, c, h + 2 * padding, w + 2 * padding), dx, "fwd"))
+        # The patch matrix feeds the weight gradient — lives to backward.
+        scratch.append(((n, out_h, out_w, c, kernel, kernel), dx, "bwd"))
+        scratch.append(((n * out_h * out_w, c_out), dtype, "fwd"))
+        return ((n, c_out, out_h, out_w), dtype), tuple(scratch)
 
     @staticmethod
     def backward(ctx: Context, grad):
@@ -140,8 +162,9 @@ class Conv2dOp(Op):
         if ctx.needs_input_grad[1]:
             gw = flat.T @ g_flat
         # The col buffer is only needed for the weight gradient; backward
-        # runs exactly once per node, so this is the release point.
-        ctx.pool.release(ctx.cols.reshape(n, out_h, out_w, -1, kernel, kernel))
+        # runs exactly once per node, so this is the release point (a no-op
+        # for arena slabs, whose lifetime the plan already bounds).
+        memplan.release(ctx.cols.reshape(n, out_h, out_w, -1, kernel, kernel))
         ctx.cols = None
         if len(ctx.needs_input_grad) > 2 and ctx.needs_input_grad[2]:
             return gx, gw, g_flat.sum(axis=0)
@@ -169,13 +192,12 @@ class Conv2d(Module):
             self.bias = Parameter(rng.uniform(-bound, bound, size=(out_channels,)).astype(np.float32))
         else:
             self.bias = None
-        self._col_pool = _ColBufferPool()
 
     def forward(self, x: Tensor) -> Tensor:
         if x.ndim != 4:
             raise ValueError(f"Conv2d expects NCHW input, got shape {x.shape}")
         params = dict(kernel=self.kernel_size, stride=self.stride,
-                      padding=self.padding, pool=self._col_pool)
+                      padding=self.padding)
         if self.bias is not None:
             return apply("conv2d", x, self.weight, self.bias, **params)
         return apply("conv2d", x, self.weight, **params)

@@ -36,6 +36,7 @@ import traceback
 import numpy as np
 
 from repro.faults import plane as _faults
+from repro.tensor import memplan
 from repro.tensor.tape import TapedFunction
 
 __all__ = ["ShardExecutor", "worker_main"]
@@ -141,6 +142,10 @@ def worker_main(conn, config, sample_shape, use_tape: bool,
     _faults.disarm()
     if fault_plan is not None:
         _faults.arm(fault_plan)
+    # Forked children inherit the parent's scratch cache and allocator
+    # counters; drop them so each worker plans into its own arena and
+    # reports process-local stats.
+    memplan.reset_process_state()
     executor = ShardExecutor(config, sample_shape, use_tape=use_tape)
     try:
         while True:

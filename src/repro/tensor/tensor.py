@@ -25,7 +25,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
-from repro.tensor import anomaly, engine
+from repro.tensor import anomaly, engine, memplan
 from repro.tensor.engine import DEFAULT_DTYPE, is_grad_enabled, no_grad  # noqa: F401  (re-exported API)
 
 _apply = engine.apply
@@ -143,12 +143,25 @@ class Tensor:
         return out
 
     @staticmethod
-    def zeros(*shape: int, requires_grad: bool = False) -> "Tensor":
-        return Tensor(np.zeros(shape, dtype=DEFAULT_DTYPE), requires_grad=requires_grad)
+    def zeros(*shape: int, requires_grad: bool = False,
+              out: np.ndarray | None = None) -> "Tensor":
+        """Zero tensor; ``out=`` reuses caller storage via the shared helper.
+
+        Constructors route through :func:`repro.tensor.memplan.zeros` so
+        planner-exempt buffers, the replay fallback path, and ad-hoc
+        callers share one allocation idiom (``out`` must match shape and
+        the default dtype exactly).
+        """
+        return Tensor(memplan.zeros(shape, DEFAULT_DTYPE, out=out),
+                      requires_grad=requires_grad)
 
     @staticmethod
-    def ones(*shape: int, requires_grad: bool = False) -> "Tensor":
-        return Tensor(np.ones(shape, dtype=DEFAULT_DTYPE), requires_grad=requires_grad)
+    def ones(*shape: int, requires_grad: bool = False,
+             out: np.ndarray | None = None) -> "Tensor":
+        """One-filled tensor; ``out=`` reuses caller storage (see ``zeros``)."""
+        buf = memplan.alloc(shape, DEFAULT_DTYPE, out=out)
+        buf.fill(1)
+        return Tensor(buf, requires_grad=requires_grad)
 
     # ------------------------------------------------------------------
     # Basic properties

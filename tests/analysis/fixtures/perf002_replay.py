@@ -1,0 +1,42 @@
+"""PERF002 fixture: raw allocations on a (fake) tape-replay path.
+
+``Tape.replay`` seeds the forward slice.  Flagged: fresh numpy
+allocations in replay-reachable functions.  Quiet: the ``out is None``
+eager branch of an ``out=``-taking op forward, constructor calls that
+write into caller storage via ``out=``, and the backward slice (the walk
+never descends into ``backward``/``_replay_backward``).
+"""
+
+import numpy as np
+
+
+def helper_alloc(shape):
+    return np.empty(shape, dtype=np.float32)  # expect: PERF002
+
+
+class FakeOp:
+    @staticmethod
+    def forward(ctx, a, out=None):
+        if out is None:
+            # Eager fallback branch: only taken when no slab was planned.
+            return np.zeros(a.shape, dtype=a.dtype)
+        np.copyto(out, a)
+        return out
+
+    @staticmethod
+    def backward(ctx, grad):
+        return (np.zeros_like(grad),)
+
+
+class Tape:
+    def replay(self, inputs):
+        buf = np.empty((4, 4), dtype=np.float32)  # expect: PERF002
+        out = FakeOp.forward(None, buf)
+        helper_alloc((2, 2))
+        joined = np.concatenate([buf, out])  # expect: PERF002
+        np.concatenate([buf, out], out=joined)
+        self._replay_backward(joined)
+        return joined
+
+    def _replay_backward(self, seed):
+        return np.ones((3,), dtype=np.float32)

@@ -44,6 +44,7 @@ def found(path: Path, code: str) -> set[tuple[int, str]]:
     ("tape002_branch.py", "TAPE002"),
     ("mp002_worker.py", "MP002"),
     ("ser002_ckpt.py", "SER002"),
+    ("perf002_replay.py", "PERF002"),
 ])
 def test_fixture_matches_golden_list(fixture, code):
     path = FIXTURES / fixture
@@ -57,7 +58,7 @@ def test_every_fixture_is_covered():
     listed = {"det002_augassign.py", "det002_walrus.py",
               "det002_comprehension.py", "det002_tryfinally.py",
               "det002_nested.py", "tape002_branch.py", "mp002_worker.py",
-              "ser002_ckpt.py"}
+              "ser002_ckpt.py", "perf002_replay.py"}
     on_disk = {p.name for p in FIXTURES.glob("*.py")
                if p.name != "__init__.py"}
     assert on_disk == listed

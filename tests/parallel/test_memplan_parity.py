@@ -1,0 +1,58 @@
+"""Planned tape replay is invisible to the sharded regime.
+
+PR 8's acceptance gate for the arena allocator under multiprocessing:
+with planning on (the default) and the arena NaN-poisoned at every step
+boundary, worker counts {1, 2, 3} must produce bit-for-bit the losses,
+gradients, optimizer state, weights, and BatchNorm buffers of the
+serial, planning-*disabled* reference.  Workers plan their own tapes
+against their own arenas (``memplan.reset_process_state`` runs in every
+forked child), so nothing plan-related may ever cross the pipe.
+
+The flags are set *before* ``ShardedStep`` forks its pool, so the
+children inherit them — the planned runs below really do replay against
+poisoned arenas inside the workers.
+"""
+
+import pytest
+
+from repro.tensor import memplan
+from tests.parallel.test_parity import (assert_states_identical,
+                                        run_sharded_steps)
+
+#: Six steps per run: capture, observation pass, then four planned
+#: replays per worker tape.
+N_STEPS = 6
+
+
+def run_planned(workers: int):
+    previous_fill = memplan.set_debug_fill(True)
+    try:
+        return run_sharded_steps(workers, use_tape=True, n_steps=N_STEPS)
+    finally:
+        memplan.set_debug_fill(previous_fill)
+
+
+class TestPlannedShardedParity:
+    @pytest.fixture(scope="class")
+    def unplanned_reference(self):
+        with memplan.no_planning():
+            return run_sharded_steps(1, use_tape=True, n_steps=N_STEPS)
+
+    def test_serial_planned_matches_unplanned(self, unplanned_reference):
+        before = memplan.stats_snapshot()
+        candidate = run_planned(1)
+        after = memplan.stats_snapshot()
+        # The witness that the plan actually engaged in this program: the
+        # serial run executes the shard program in-process, so its arena
+        # writes land in our counters.
+        assert after["arena_outputs"] > before["arena_outputs"]
+        assert_states_identical(unplanned_reference, candidate,
+                                "workers=1 planned-vs-unplanned")
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("workers", [2, 3])
+    def test_multiprocess_planned_matches_unplanned_serial(
+            self, unplanned_reference, workers):
+        candidate = run_planned(workers)
+        assert_states_identical(unplanned_reference, candidate,
+                                f"workers={workers} planned")

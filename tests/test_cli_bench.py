@@ -58,6 +58,18 @@ class TestBenchSmoke:
         # the 1.5x sharding bar is full-shape (and multi-core) only
         assert "required_speedup" not in sharding
         assert "sharded step" in out
+        memory = report["memory"]
+        assert set(memory["variants"]) == {"eager", "unplanned", "planned"}
+        for entry in memory["variants"].values():
+            assert entry["tracemalloc_peak_kb"] > 0.0
+            assert entry["steps"] == memory["config"]["steps"]
+        # planned replay must beat the unplanned tape on allocator traffic
+        # even at smoke shapes — that ratio is shape-independent
+        assert (memory["variants"]["planned"]["planner_alloc_calls"]
+                < memory["variants"]["unplanned"]["planner_alloc_calls"])
+        assert memory["planned_vs_unplanned"]["alloc_calls_reduction"] > 0.0
+        assert "memory (" in out
+        assert "planned vs unplanned" in out
 
     def test_run_suite_smoke_is_json_serializable(self):
         report = run_suite(smoke=True, repeats=1)
@@ -113,6 +125,27 @@ class TestBenchSmoke:
             assert sharding["cpus"] < SHARDING_BENCH_WORKERS
             assert "required_speedup_omitted" in sharding
         # earlier PRs' bars must still hold
+        assert (payload["ssl_step"]["speedup_vs_pre_refactor"]
+                >= payload["ssl_step"]["required_speedup"])
+        assert (payload["tape"]["speedup_replay_vs_eager"]
+                >= payload["tape"]["required_speedup"])
+
+    def test_committed_pr8_baseline_memory_section(self):
+        import pathlib
+
+        baseline = pathlib.Path(__file__).resolve().parents[1] / "BENCH_pr8.json"
+        payload = json.loads(baseline.read_text(encoding="utf-8"))
+        assert payload["mode"] == "full"
+        memory = payload["memory"]
+        assert set(memory["variants"]) == {"eager", "unplanned", "planned"}
+        reductions = memory["planned_vs_unplanned"]
+        # the PR 8 acceptance bar: planned replay measurably reduces both
+        # allocator traffic and the steady-state resident set vs the
+        # unplanned (PR 7 allocation regime) tape
+        assert reductions["alloc_calls_reduction"] > 0.25
+        assert reductions["peak_rss_reduction"] > 0.0
+        assert reductions["tracemalloc_peak_reduction"] > 0.25
+        # earlier PRs' bars must still hold on the arena engine
         assert (payload["ssl_step"]["speedup_vs_pre_refactor"]
                 >= payload["ssl_step"]["required_speedup"])
         assert (payload["tape"]["speedup_replay_vs_eager"]
