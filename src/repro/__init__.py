@@ -44,7 +44,8 @@ from repro.data import (
     load_image_benchmark,
     load_tabular_benchmark,
 )
-from repro.eval import ContinualResult, KNNClassifier, evaluate_tasks
+from repro.eval import (ContinualResult, KNNClassifier, LinearProbe,
+                        RidgeProbe, RidgeStatistics, evaluate_tasks)
 from repro.ssl import BarlowTwins, DistillationHead, Encoder, SimSiam
 
 __version__ = "1.0.0"
@@ -75,6 +76,9 @@ __all__ = [
     # eval
     "ContinualResult",
     "KNNClassifier",
+    "LinearProbe",
+    "RidgeProbe",
+    "RidgeStatistics",
     "evaluate_tasks",
     # ssl
     "Encoder",

@@ -48,6 +48,17 @@ SHARDING_REQUIRED_SPEEDUP = 1.5
 #: Worker count the sharding acceptance bar is measured at.
 SHARDING_BENCH_WORKERS = 3
 
+#: PR 9 acceptance bar: the closed-form ridge probe must beat the SGD
+#: linear probe by at least this factor per accuracy-matrix cell (full
+#: shapes only), while agreeing within PROBE_MAX_ACCURACY_DELTA.
+RIDGE_REQUIRED_SPEEDUP = 10.0
+
+#: Maximum |ridge accuracy − SGD probe accuracy| on the bench workload.
+PROBE_MAX_ACCURACY_DELTA = 0.01
+
+#: Worker counts the statistics shard-merge identity is checked across.
+PROBE_BENCH_WORKER_COUNTS = (1, 2, 3)
+
 
 # ----------------------------------------------------------------------
 # Op microbenches
@@ -289,6 +300,115 @@ def sharding_bench(*, smoke: bool = False, repeats: int | None = None) -> dict:
 
 
 # ----------------------------------------------------------------------
+# Eval-probe bench (PR 9)
+# ----------------------------------------------------------------------
+def _probe_workload(smoke: bool):
+    """Synthetic frozen representations with partial class overlap.
+
+    Gaussian class blobs whose spread leaves a few percent of samples
+    ambiguous — both probes land in the same accuracy band (the ±1pt
+    agreement bar is meaningful) without either saturating at 100%.
+    """
+    n_train, n_test, dim, n_classes = (60, 30, 8, 3) if smoke else (1200, 600, 64, 10)
+    rng = np.random.default_rng(7)
+    centers = rng.normal(scale=0.6, size=(n_classes, dim))
+
+    def sample(count):
+        labels = rng.integers(0, n_classes, size=count)
+        reps = centers[labels] + rng.normal(size=(count, dim))
+        return reps.astype(np.float32), labels
+
+    return sample(n_train), sample(n_test)
+
+
+def eval_probe_bench(*, smoke: bool = False, repeats: int | None = None) -> dict:
+    """Time one accuracy-matrix cell: SGD linear probe vs closed-form ridge.
+
+    Measures exactly what the evaluation protocol pays per cell — construct
+    a probe, ``fit`` on the train representations, ``accuracy`` on the test
+    split — for the 50-epoch Adam :class:`~repro.eval.linear_probe.LinearProbe`
+    and the streaming :class:`~repro.eval.ridge.RidgeProbe`.  Fewer default
+    repeats than the microbenches because one SGD fit is itself a
+    thousand-step optimization.
+
+    Also checks the statistics shard-merge contract end-to-end: the train
+    pass is split into blocks, the blocks are partitioned across
+    ``PROBE_BENCH_WORKER_COUNTS`` simulated workers, and every worker
+    count's merged ``(A, B)`` must be byte-identical (reported as digests).
+    """
+    import hashlib
+
+    from repro.eval.linear_probe import LinearProbe
+    from repro.eval.ridge import RidgeProbe, RidgeStatistics
+    from repro.utils.rng import fallback_rng
+
+    (train_x, train_y), (test_x, test_y) = _probe_workload(smoke)
+    warmup = 0 if smoke else 1
+    repeats = repeats or (2 if smoke else 5)
+
+    def linear_cell() -> float:
+        probe = LinearProbe(rng=fallback_rng(11)).fit(train_x, train_y)
+        return probe.accuracy(test_x, test_y)
+
+    def ridge_cell() -> float:
+        return RidgeProbe().fit(train_x, train_y).accuracy(test_x, test_y)
+
+    linear_acc = linear_cell()
+    ridge_acc = ridge_cell()
+    linear_timing = time_callable(linear_cell, warmup=warmup, repeats=repeats)
+    ridge_timing = time_callable(ridge_cell, warmup=warmup, repeats=repeats)
+
+    # Shard-merge identity across worker counts: same blocks, different
+    # partitions, merged in reverse order to exercise order-independence.
+    block_size = 16 if smoke else 128
+    classes = np.unique(train_y)
+    blocks = [(train_x[s:s + block_size], train_y[s:s + block_size])
+              for s in range(0, len(train_x), block_size)]
+    digests = {}
+    for workers in PROBE_BENCH_WORKER_COUNTS:
+        bounds = np.linspace(0, len(blocks), workers + 1).astype(int)
+        partials = []
+        for start, stop in zip(bounds, bounds[1:]):
+            if start == stop:
+                continue
+            shard = RidgeStatistics(train_x.shape[1], classes,
+                                    start_block=int(start))
+            for block_x, block_y in blocks[start:stop]:
+                shard.update(block_x, block_y)
+            partials.append(shard)
+        merged = partials[-1]
+        for shard in reversed(partials[:-1]):
+            merged = merged.merge(shard)
+        a, b = merged.reduced()
+        digests[str(workers)] = hashlib.sha256(
+            a.tobytes() + b.tobytes()).hexdigest()
+    identical = len(set(digests.values())) == 1
+
+    result = {
+        "config": {"smoke": smoke, "n_train": len(train_x),
+                   "n_test": len(test_x), "dim": train_x.shape[1],
+                   "n_classes": int(classes.size), "block_size": block_size,
+                   "linear_probe": "adam(epochs=50, lr=1e-2)",
+                   "repeats": repeats},
+        "linear": linear_timing.to_dict(),
+        "ridge": ridge_timing.to_dict(),
+        "speedup_ridge_vs_linear": speedup(linear_timing, ridge_timing),
+        "linear_accuracy": linear_acc,
+        "ridge_accuracy": ridge_acc,
+        "accuracy_delta": abs(ridge_acc - linear_acc),
+        "shard_merge": {"worker_counts": list(PROBE_BENCH_WORKER_COUNTS),
+                        "digests": digests,
+                        "identical_across_worker_counts": identical},
+    }
+    if not smoke:
+        # Smoke shapes are fixed Python overhead; the bars are full-shape
+        # only, like every other suite.
+        result["required_speedup"] = RIDGE_REQUIRED_SPEEDUP
+        result["max_accuracy_delta"] = PROBE_MAX_ACCURACY_DELTA
+    return result
+
+
+# ----------------------------------------------------------------------
 # Memory bench (PR 8)
 # ----------------------------------------------------------------------
 #: Steps measured (after warmup) by each memory-bench variant.
@@ -448,13 +568,14 @@ def memory_bench(*, smoke: bool = False, steps: int | None = None) -> dict:
 def run_suite(*, smoke: bool = False, repeats: int | None = None) -> dict:
     """Run every bench; return one JSON-serializable report."""
     return {
-        "suite": "repro-bench-pr8",
+        "suite": "repro-bench-pr9",
         "mode": "smoke" if smoke else "full",
         "ops": op_microbenches(smoke=smoke, repeats=repeats),
         "ssl_step": ssl_step_bench(smoke=smoke, repeats=repeats),
         "tape": tape_replay_bench(smoke=smoke, repeats=repeats),
         "sharding": sharding_bench(smoke=smoke, repeats=repeats),
         "memory": memory_bench(smoke=smoke),
+        "eval_probe": eval_probe_bench(smoke=smoke, repeats=repeats),
     }
 
 
@@ -533,18 +654,48 @@ def format_report(report: dict) -> str:
                      f"-{red['alloc_calls_reduction'] * 100:.1f}%, traced peak "
                      f"-{red['tracemalloc_peak_reduction'] * 100:.1f}%, steady "
                      f"RSS -{red['peak_rss_reduction'] * 100:.1f}%")
+    probe = report.get("eval_probe")
+    if probe is not None:
+        cfg = probe["config"]
+        lines.append("")
+        lines.append(f"eval probe ({cfg['n_train']}x{cfg['dim']} reps, "
+                     f"{cfg['n_classes']} classes): "
+                     f"sgd-linear {probe['linear']['median_s'] * 1e3:.2f} ms, "
+                     f"ridge {probe['ridge']['median_s'] * 1e3:.2f} ms "
+                     f"({probe['speedup_ridge_vs_linear']:.1f}x); accuracy "
+                     f"{probe['linear_accuracy']:.4f} vs "
+                     f"{probe['ridge_accuracy']:.4f} "
+                     f"(delta {probe['accuracy_delta']:.4f})")
+        merge = probe["shard_merge"]
+        merge_verdict = ("identical" if merge["identical_across_worker_counts"]
+                         else "MISMATCH")
+        lines.append(f"statistics shard-merge across workers "
+                     f"{merge['worker_counts']}: {merge_verdict}")
+        if "required_speedup" in probe:
+            verdict = ("PASS" if probe["speedup_ridge_vs_linear"]
+                       >= probe["required_speedup"]
+                       and probe["accuracy_delta"] <= probe["max_accuracy_delta"]
+                       and merge["identical_across_worker_counts"] else "FAIL")
+            lines.append(f"probe acceptance: required >= "
+                         f"{probe['required_speedup']:.0f}x, accuracy delta <= "
+                         f"{probe['max_accuracy_delta']:.2f}, merge identical "
+                         f"[{verdict}]")
     return "\n".join(lines)
 
 
 __all__ = [
     "MEMORY_BENCH_STEPS",
     "PRE_REFACTOR_REFERENCE",
+    "PROBE_BENCH_WORKER_COUNTS",
+    "PROBE_MAX_ACCURACY_DELTA",
     "REQUIRED_SPEEDUP",
+    "RIDGE_REQUIRED_SPEEDUP",
     "SHARDING_BENCH_WORKERS",
     "SHARDING_REQUIRED_SPEEDUP",
     "TAPE_REQUIRED_SPEEDUP",
     "BenchTiming",
     "build_ssl_step",
+    "eval_probe_bench",
     "format_report",
     "memory_bench",
     "op_microbenches",

@@ -30,7 +30,9 @@ Commands
              reproduces exactly from its ``(seed, scenario)`` pair;
 ``bench``    run the op-registry microbenchmarks (fused-vs-unfused kernels,
              the SSL training-step bench, the tape eager-vs-replay bench,
-             and the serial-vs-multiprocess sharded-step bench);
+             the serial-vs-multiprocess sharded-step bench, and the
+             eval-probe bench: SGD vs closed-form ridge probe wall-time,
+             accuracy delta, and the shard-merge bit-for-bit check);
              ``--output`` writes the JSON report, ``--smoke`` runs a
              sub-second variant for CI.
 """
@@ -61,7 +63,7 @@ def _config_from_args(args: argparse.Namespace) -> ContinualConfig:
     overrides = {}
     for field in ("epochs", "batch_size", "lr", "memory_budget", "replay_batch_size",
                   "noise_neighbors", "selection", "replay_loss", "objective",
-                  "replay_sampling", "use_tape", "workers"):
+                  "replay_sampling", "use_tape", "workers", "probe"):
         value = getattr(args, field, None)
         if value is not None:
             overrides[field] = value
@@ -120,6 +122,10 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--replay-sampling", dest="replay_sampling",
                         choices=["uniform", "similarity"])
     parser.add_argument("--objective", choices=["simsiam", "barlow", "byol", "vae"])
+    parser.add_argument("--probe", choices=["knn", "linear", "ridge"],
+                        help="evaluation probe fitted per accuracy-matrix "
+                             "cell: knn (paper default), linear (SGD softmax "
+                             "head), or ridge (closed-form streaming probe)")
     parser.add_argument("--no-tape", dest="use_tape", action="store_const",
                         const=False, default=None,
                         help="disable tape capture/replay of the training "
@@ -281,6 +287,15 @@ def _command_bench(args: argparse.Namespace) -> int:
     if "required_speedup" in sharding \
             and sharding["speedup_sharded_vs_serial"] < sharding["required_speedup"]:
         return 1
+    probe = report.get("eval_probe", {})
+    if "shard_merge" in probe \
+            and not probe["shard_merge"]["identical_across_worker_counts"]:
+        # The merge contract is shape-independent — enforced even in smoke.
+        return 1
+    if "required_speedup" in probe \
+            and (probe["speedup_ridge_vs_linear"] < probe["required_speedup"]
+                 or probe["accuracy_delta"] > probe["max_accuracy_delta"]):
+        return 1
     return 0
 
 
@@ -314,6 +329,7 @@ def _command_list(_args: argparse.Namespace) -> int:
     print("selection: ", "random, kmeans, min-var, distant, high-entropy")
     print("replay:    ", "css, dis, rpl (x uniform/similarity sampling)")
     print("objectives:", "simsiam, barlow, byol, vae")
+    print("probes:    ", "knn, linear, ridge")
     return 0
 
 

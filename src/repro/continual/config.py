@@ -64,6 +64,12 @@ class ContinualConfig:
         Augmentation strengths for image / tabular pipelines.
     knn_k:
         Probe neighbourhood for evaluation (Sec. IV-A5's KNN classifier).
+    probe:
+        Evaluation probe fitted per accuracy-matrix cell, by registry name
+        (:data:`repro.eval.protocol.PROBE_REGISTRY`): ``"knn"`` (paper
+        default, parameter-free), ``"linear"`` (SGD softmax head), or
+        ``"ridge"`` (closed-form streaming probe — cheap enough to re-probe
+        every seen increment at every boundary).
     use_tape:
         Capture the training step once per batch shape and replay the
         recorded program on subsequent steps (``repro.tensor.tape``).
@@ -113,6 +119,7 @@ class ContinualConfig:
     augment_padding: int = 1
     tabular_corruption: float = 0.3
     knn_k: int = 20
+    probe: str = "knn"
 
     use_tape: bool = True
     workers: int | None = None
@@ -135,6 +142,12 @@ class ContinualConfig:
             raise ValueError("noise_neighbors must be >= 0")
         if self.representation_dim < 2:
             raise ValueError("representation_dim must be >= 2")
+        # Late import: repro.eval.protocol transitively builds on the nn
+        # stack, which imports this module's package.
+        from repro.eval.protocol import PROBE_REGISTRY
+        if self.probe not in PROBE_REGISTRY:
+            raise ValueError(f"unknown probe {self.probe!r}; registered: "
+                             f"{', '.join(sorted(PROBE_REGISTRY))}")
 
     def with_overrides(self, **kwargs) -> "ContinualConfig":
         """Functional update — configs are frozen."""

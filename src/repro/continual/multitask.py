@@ -58,5 +58,6 @@ def run_multitask(sequence: TaskSequence, config: ContinualConfig,
         if verbose:
             print(f"[multitask] epoch {epoch + 1}/{config.epochs} loss={loss.item():.4f}")
 
-    per_task = evaluate_tasks(objective, list(sequence), knn_k=config.knn_k)
+    per_task = evaluate_tasks(objective, list(sequence), knn_k=config.knn_k,
+                              probe=config.probe)
     return MultitaskResult(per_task=per_task, elapsed_seconds=time.perf_counter() - start)

@@ -160,11 +160,12 @@ class ContinualTrainer:
                          result: ContinualResult) -> None:
         if self.checkpoints is None:
             return
-        meta = None
+        # Informational only: the probe choice also lives in the result
+        # state, and the sharded regime's results are worker-count
+        # independent, so resume never reads this.
+        meta = {"probe": self.config.probe}
         if self.config.workers is not None:
-            # Informational only: the sharded regime's results are
-            # worker-count independent, so resume never reads this.
-            meta = {"workers": self.config.workers, "n_shards": N_SHARDS}
+            meta.update(workers=self.config.workers, n_shards=N_SHARDS)
         try:
             path = self.checkpoints.save(
                 task_index, self._run_state(task_index, n_tasks, result),
@@ -187,7 +188,7 @@ class ContinualTrainer:
         config = self.config
         method = self.method
         n_tasks = len(sequence)
-        result = ContinualResult(n_tasks, name=method.name)
+        result = ContinualResult(n_tasks, name=method.name, probe=config.probe)
         start_task = 0
         prior_elapsed = 0.0
 
@@ -214,7 +215,8 @@ class ContinualTrainer:
                 self._run_task(task, task_index, n_tasks)
                 accuracies = evaluate_tasks(method.objective,
                                             list(sequence)[:task_index + 1],
-                                            knn_k=config.knn_k)
+                                            knn_k=config.knn_k,
+                                            probe=config.probe)
                 result.record_row(accuracies)
                 result.elapsed_seconds = prior_elapsed + (time.perf_counter() - start)
                 self._save_checkpoint(task_index, n_tasks, result)

@@ -1,15 +1,24 @@
-"""Evaluation: KNN probing and the continual-learning metrics of Fig. 3."""
+"""Evaluation: probe registry (KNN/linear/ridge) and the Fig. 3 metrics."""
 
 from repro.eval.knn import KNNClassifier
 from repro.eval.linear_probe import LinearProbe
 from repro.eval.metrics import ContinualResult, forgetting_matrix
-from repro.eval.protocol import evaluate_tasks, extract_representations
+from repro.eval.protocol import (PROBE_REGISTRY, evaluate_tasks,
+                                 extract_representations, make_probe,
+                                 probe_names, register_probe)
+from repro.eval.ridge import RidgeProbe, RidgeStatistics
 
 __all__ = [
     "KNNClassifier",
     "LinearProbe",
+    "RidgeProbe",
+    "RidgeStatistics",
     "ContinualResult",
     "forgetting_matrix",
     "evaluate_tasks",
     "extract_representations",
+    "PROBE_REGISTRY",
+    "make_probe",
+    "probe_names",
+    "register_probe",
 ]

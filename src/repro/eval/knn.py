@@ -21,16 +21,26 @@ class KNNClassifier:
         Number of neighbours (clipped to the index size at predict time).
     temperature:
         Softmax temperature for the similarity weights.
+    chunk_size:
+        Queries scored per similarity block.  Bounds predict-time memory to
+        ``chunk_size × N`` instead of materializing the full ``Q × N``
+        similarity matrix; per-query results are independent, so chunking
+        never changes a prediction.
     """
 
-    def __init__(self, k: int = 20, temperature: float = 0.1):
+    def __init__(self, k: int = 20, temperature: float = 0.1,
+                 chunk_size: int = 256):
         if k < 1:
             raise ValueError("k must be >= 1")
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
         self.k = k
         self.temperature = temperature
+        self.chunk_size = chunk_size
         self._index: np.ndarray | None = None
         self._labels: np.ndarray | None = None
         self._classes: np.ndarray | None = None
+        self._label_index: np.ndarray | None = None
 
     @staticmethod
     def _normalize(x: np.ndarray) -> np.ndarray:
@@ -45,22 +55,28 @@ class KNNClassifier:
         self._index = self._normalize(representations)
         self._labels = np.asarray(labels, dtype=np.int64)
         self._classes = np.unique(self._labels)
+        # Index labels as positions in the sorted class list, so voting is a
+        # single scatter-add instead of one masked pass per class.
+        self._label_index = np.searchsorted(self._classes, self._labels)
         return self
 
     def predict(self, representations: np.ndarray) -> np.ndarray:
         if self._index is None:
             raise RuntimeError("predict() before fit()")
         queries = self._normalize(representations)
-        sims = queries @ self._index.T                      # (Q, N)
         k = min(self.k, self._index.shape[0])
-        top = np.argpartition(-sims, k - 1, axis=1)[:, :k]  # (Q, k)
-        rows = np.arange(len(queries))[:, None]
-        weights = np.exp(sims[rows, top] / self.temperature)
-        neighbour_labels = self._labels[top]
-        scores = np.zeros((len(queries), len(self._classes)))
-        for ci, cls in enumerate(self._classes):
-            scores[:, ci] = (weights * (neighbour_labels == cls)).sum(axis=1)
-        return self._classes[scores.argmax(axis=1)]
+        predictions = np.empty(len(queries), dtype=self._classes.dtype)
+        for start in range(0, len(queries), self.chunk_size):
+            chunk = queries[start:start + self.chunk_size]
+            sims = chunk @ self._index.T                        # (<=C, N)
+            top = np.argpartition(-sims, k - 1, axis=1)[:, :k]  # (<=C, k)
+            rows = np.arange(len(chunk))[:, None]
+            weights = np.exp(sims[rows, top] / self.temperature)
+            scores = np.zeros((len(chunk), len(self._classes)))
+            np.add.at(scores, (rows, self._label_index[top]), weights)
+            predictions[start:start + self.chunk_size] = \
+                self._classes[scores.argmax(axis=1)]
+        return predictions
 
     def accuracy(self, representations: np.ndarray, labels: np.ndarray) -> float:
         predictions = self.predict(representations)

@@ -26,7 +26,12 @@ class LinearProbe:
     epochs, lr, batch_size, weight_decay:
         Optimization of the probe head (Adam).
     rng:
-        Generator for init and shuffling.
+        Seed source for init and shuffling.  Consumed **once** at
+        construction: a single draw keys an isolated child generator that
+        every ``fit`` call recreates from scratch.  Fitting therefore never
+        advances the caller's stream (probing mid-run cannot perturb
+        downstream randomness) and back-to-back fits on the same data are
+        bit-for-bit identical.
     """
 
     def __init__(self, epochs: int = 50, lr: float = 1e-2, batch_size: int = 64,
@@ -35,7 +40,7 @@ class LinearProbe:
         self.lr = lr
         self.batch_size = batch_size
         self.weight_decay = weight_decay
-        self.rng = rng or fallback_rng()
+        self._fit_seed = int((rng or fallback_rng()).integers(2 ** 63))
         self._head: Linear | None = None
         self._classes: np.ndarray | None = None
         self._mean: np.ndarray | None = None
@@ -56,12 +61,16 @@ class LinearProbe:
         self._std = x.std(axis=0) + 1e-6
         x = (x - self._mean) / self._std
 
-        self._head = Linear(x.shape[1], len(self._classes), rng=self.rng)
+        # Isolated per-fit generator: init and shuffle order are a pure
+        # function of the construction-time seed, never of how often (or
+        # when) the probe has been fitted before.
+        rng = fallback_rng(self._fit_seed)
+        self._head = Linear(x.shape[1], len(self._classes), rng=rng)
         optimizer = Adam(self._head.parameters(), lr=self.lr,
                          weight_decay=self.weight_decay)
         n = len(x)
         for _epoch in range(self.epochs):
-            order = self.rng.permutation(n)
+            order = rng.permutation(n)
             for start in range(0, n, self.batch_size):
                 idx = order[start:start + self.batch_size]
                 optimizer.zero_grad()

@@ -36,11 +36,15 @@ class ContinualResult:
     :meth:`new_task_accuracies` (Fig. 5's ``A_ii``).
     """
 
-    def __init__(self, n_tasks: int, name: str = "run"):
+    def __init__(self, n_tasks: int, name: str = "run", probe: str = "knn"):
         if n_tasks < 1:
             raise ValueError("n_tasks must be >= 1")
         self.n_tasks = n_tasks
         self.name = name
+        #: Which evaluation probe produced the accuracy matrix (registry
+        #: name) — accuracies from different probes are not comparable, so
+        #: the choice travels with the result through checkpoints and JSON.
+        self.probe = probe
         self.accuracy_matrix = np.full((n_tasks, n_tasks), np.nan)
         self._rows_recorded = 0
         self.elapsed_seconds = 0.0
@@ -71,6 +75,7 @@ class ContinualResult:
         """Snapshot the partially filled matrix and timing for a checkpoint."""
         return {
             "name": self.name,
+            "probe": self.probe,
             "n_tasks": self.n_tasks,
             "rows_recorded": self._rows_recorded,
             "accuracy_matrix": self.accuracy_matrix.copy(),
@@ -87,6 +92,8 @@ class ContinualResult:
             raise ValueError(f"accuracy matrix shape {matrix.shape} != "
                              f"{self.accuracy_matrix.shape}")
         self.name = state["name"]
+        # Pre-PR-9 checkpoints carry no probe field; those runs were KNN.
+        self.probe = str(state.get("probe", "knn"))
         self.accuracy_matrix = matrix.copy()
         self._rows_recorded = int(state["rows_recorded"])
         self.elapsed_seconds = float(state["elapsed_seconds"])

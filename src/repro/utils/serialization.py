@@ -69,6 +69,7 @@ def save_result(result: ContinualResult, path: str | pathlib.Path) -> None:
     recorded = result.rows_recorded
     payload = {
         "name": result.name,
+        "probe": result.probe,
         "n_tasks": result.n_tasks,
         "rows_recorded": recorded,
         "acc": result.acc() if recorded else None,
@@ -99,7 +100,9 @@ def load_result(path: str | pathlib.Path) -> ContinualResult:
     """
     payload = json.loads(pathlib.Path(path).read_text())
     n_tasks = payload["n_tasks"]
-    result = ContinualResult(n_tasks, name=payload["name"])
+    # Files from before the probe registry were all KNN-probed.
+    result = ContinualResult(n_tasks, name=payload["name"],
+                             probe=payload.get("probe", "knn"))
     matrix = payload["accuracy_matrix"]
     recorded = payload.get("rows_recorded")
     if recorded is None:

@@ -40,6 +40,44 @@ class TestKNN:
         with pytest.raises(ValueError):
             KNNClassifier(k=0)
 
+    def test_chunked_predict_bit_identical_to_reference(self, rng):
+        """Regression for the O(queries x index) memory blowup fix: chunked
+        scatter-add voting must reproduce the original full-matrix loop
+        bit for bit."""
+        train = rng.normal(size=(123, 8)).astype(np.float32)
+        labels = rng.integers(0, 5, size=123)
+        queries = rng.normal(size=(257, 8)).astype(np.float32)
+
+        probe = KNNClassifier(k=9, chunk_size=32).fit(train, labels)
+        predictions = probe.predict(queries)
+
+        # Pre-fix reference: one dense similarity matrix, per-query loop.
+        index = probe._index
+        classes = probe._classes
+        k = min(probe.k, len(train))
+        normed = queries / np.maximum(
+            np.linalg.norm(queries, axis=1, keepdims=True), 1e-12)
+        sims = normed @ index.T
+        expected = np.empty(len(queries), dtype=classes.dtype)
+        for i in range(len(queries)):
+            top = np.argpartition(sims[i], -k)[-k:]
+            weights = np.exp(sims[i][top] / probe.temperature)
+            scores = np.zeros(len(classes))
+            np.add.at(scores, probe._label_index[top], weights)
+            expected[i] = classes[np.argmax(scores)]
+        np.testing.assert_array_equal(predictions, expected)
+
+    def test_chunk_size_does_not_change_predictions(self, rng):
+        train = rng.normal(size=(40, 4))
+        labels = rng.integers(0, 3, size=40)
+        queries = rng.normal(size=(33, 4))
+        baseline = KNNClassifier(k=5, chunk_size=1).fit(train, labels).predict(queries)
+        for chunk_size in (2, 7, 33, 1000):
+            probe = KNNClassifier(k=5, chunk_size=chunk_size).fit(train, labels)
+            np.testing.assert_array_equal(probe.predict(queries), baseline)
+        with pytest.raises(ValueError):
+            KNNClassifier(chunk_size=0)
+
     def test_weighted_voting_prefers_closer_neighbours(self):
         # 2 far class-1 neighbours, 1 identical class-0 neighbour; with k=3
         # the exp(cos/tau) weighting must favour the near one.
@@ -151,3 +189,17 @@ class TestProtocol:
         accuracies = evaluate_tasks(objective, list(tiny_sequence), knn_k=5)
         assert len(accuracies) == len(tiny_sequence)
         assert all(0.0 <= a <= 1.0 for a in accuracies)
+
+    def test_extract_representations_empty_input(self, tiny_sequence, fast_config, rng):
+        """Regression: np.concatenate([]) used to crash on zero samples."""
+        from repro.continual import build_objective
+        objective = build_objective(fast_config, tiny_sequence[0].train.x.shape[1:], rng)
+        reps = extract_representations(objective, tiny_sequence[0].train.x[:0])
+        assert reps.shape == (0, objective.representation_dim)
+        assert reps.dtype == np.float32
+
+    def test_evaluate_task_rejects_unknown_probe(self, tiny_sequence, fast_config, rng):
+        from repro.continual import build_objective
+        objective = build_objective(fast_config, tiny_sequence[0].train.x.shape[1:], rng)
+        with pytest.raises(ValueError, match="unknown probe"):
+            evaluate_task(objective, tiny_sequence[0], probe="mlp")

@@ -38,6 +38,34 @@ class TestLinearProbe:
         with pytest.raises(ValueError):
             LinearProbe(rng=rng).fit(np.zeros((0, 2)), np.zeros(0))
 
+    def test_refit_is_deterministic(self, rng):
+        """Regression: fit() used to consume the shared RNG, so two fits on
+        the same data diverged.  The probe now draws one seed at construction
+        and re-derives an isolated generator per fit."""
+        x = rng.normal(size=(50, 5))
+        y = rng.integers(0, 3, size=50)
+        probe = LinearProbe(epochs=5, rng=rng)
+        first = probe.fit(x, y)._head.weight.data.copy()
+        second = probe.fit(x, y)._head.weight.data
+        np.testing.assert_array_equal(first, second)
+
+    def test_fit_leaves_caller_rng_untouched(self):
+        """The caller's generator is consumed once (at construction), never
+        during fit — fitting a probe must not perturb surrounding code."""
+        rng = np.random.default_rng(123)
+        probe = LinearProbe(epochs=3, rng=rng)
+        state_before = rng.bit_generator.state
+        probe.fit(np.random.default_rng(0).normal(size=(20, 4)),
+                  np.arange(20) % 2)
+        assert rng.bit_generator.state == state_before
+
+    def test_same_seed_probes_identical(self):
+        x = np.random.default_rng(1).normal(size=(30, 4))
+        y = np.arange(30) % 3
+        a = LinearProbe(epochs=4, rng=np.random.default_rng(7)).fit(x, y)
+        b = LinearProbe(epochs=4, rng=np.random.default_rng(7)).fit(x, y)
+        np.testing.assert_array_equal(a._head.weight.data, b._head.weight.data)
+
     def test_agrees_with_knn_on_easy_data(self, rng):
         """Both probes should nail well-separated representations — the
         protocol-independence sanity check."""

@@ -192,7 +192,7 @@ class TestShardedKillAndResume:
         trainer.run(tiny_sequence)
         loaded = CheckpointManager(tmp_path).load_latest()
         assert loaded is not None
-        assert loaded.meta == {"workers": 2, "n_shards": 6}
+        assert loaded.meta == {"probe": "knn", "workers": 2, "n_shards": 6}
 
 
 class TestResumeValidation:

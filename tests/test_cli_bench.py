@@ -70,6 +70,22 @@ class TestBenchSmoke:
         assert memory["planned_vs_unplanned"]["alloc_calls_reduction"] > 0.0
         assert "memory (" in out
         assert "planned vs unplanned" in out
+        probe = report["eval_probe"]
+        assert probe["linear"]["median_s"] > 0.0
+        assert probe["ridge"]["median_s"] > 0.0
+        assert probe["speedup_ridge_vs_linear"] > 0.0
+        assert 0.0 <= probe["linear_accuracy"] <= 1.0
+        assert 0.0 <= probe["ridge_accuracy"] <= 1.0
+        # the merge contract is shape-independent: byte-identical merged
+        # statistics across worker counts must hold even at smoke shapes
+        merge = probe["shard_merge"]
+        assert merge["identical_across_worker_counts"]
+        assert len(set(merge["digests"].values())) == 1
+        assert merge["worker_counts"] == [1, 2, 3]
+        # the 10x / 1pt bars are full-shape only (smoke SGD is all overhead)
+        assert "required_speedup" not in probe
+        assert "max_accuracy_delta" not in probe
+        assert "eval probe" in out
 
     def test_run_suite_smoke_is_json_serializable(self):
         report = run_suite(smoke=True, repeats=1)
@@ -124,6 +140,34 @@ class TestBenchSmoke:
             # omitted, never silently dropped.
             assert sharding["cpus"] < SHARDING_BENCH_WORKERS
             assert "required_speedup_omitted" in sharding
+        # earlier PRs' bars must still hold
+        assert (payload["ssl_step"]["speedup_vs_pre_refactor"]
+                >= payload["ssl_step"]["required_speedup"])
+        assert (payload["tape"]["speedup_replay_vs_eager"]
+                >= payload["tape"]["required_speedup"])
+
+    def test_committed_pr9_baseline_eval_probe_section(self):
+        import pathlib
+
+        from repro.bench import (PROBE_BENCH_WORKER_COUNTS,
+                                 PROBE_MAX_ACCURACY_DELTA,
+                                 RIDGE_REQUIRED_SPEEDUP)
+
+        baseline = pathlib.Path(__file__).resolve().parents[1] / "BENCH_pr9.json"
+        payload = json.loads(baseline.read_text(encoding="utf-8"))
+        assert payload["mode"] == "full"
+        probe = payload["eval_probe"]
+        # PR 9 acceptance bars: ridge >= 10x faster, within one accuracy
+        # point of the SGD probe, and the sharded merge byte-identical
+        # across every recorded worker count.
+        assert probe["required_speedup"] == RIDGE_REQUIRED_SPEEDUP
+        assert probe["speedup_ridge_vs_linear"] >= probe["required_speedup"]
+        assert probe["max_accuracy_delta"] == PROBE_MAX_ACCURACY_DELTA
+        assert probe["accuracy_delta"] <= probe["max_accuracy_delta"]
+        merge = probe["shard_merge"]
+        assert merge["worker_counts"] == list(PROBE_BENCH_WORKER_COUNTS)
+        assert merge["identical_across_worker_counts"]
+        assert len(set(merge["digests"].values())) == 1
         # earlier PRs' bars must still hold
         assert (payload["ssl_step"]["speedup_vs_pre_refactor"]
                 >= payload["ssl_step"]["required_speedup"])
