@@ -6,7 +6,10 @@ Commands
              accuracy matrix, optionally save the result JSON; with
              ``--checkpoint-dir`` the run checkpoints atomically after every
              task and ``--resume`` continues a killed run bit-for-bit;
-             ``--guardrails`` enables NaN/divergence recovery;
+             ``--guardrails`` enables NaN/divergence recovery; ``--scenario``
+             routes through the scenario registry (task-free, blurry,
+             domain-incremental, long streams) and writes the serialized
+             transfer matrix next to the result;
 ``compare``  train several methods on one benchmark and print a ranking
              table (a single-seed Table III slice); ``--checkpoint-dir`` +
              ``--resume`` checkpoint each method in its own subdirectory and
@@ -53,6 +56,12 @@ from repro.utils.serialization import save_result
 METHODS = ["finetune", "si", "der", "lump", "cassle", "edsr", "lin", "pfr", "curl"]
 
 
+def _scenario_names() -> list[str]:
+    from repro.scenarios import scenario_names
+
+    return scenario_names()
+
+
 def _load_benchmark(name: str, scale: str, n_tasks: int | None):
     if name == "tabular":
         return load_tabular_benchmark(scale)
@@ -63,7 +72,9 @@ def _config_from_args(args: argparse.Namespace) -> ContinualConfig:
     overrides = {}
     for field in ("epochs", "batch_size", "lr", "memory_budget", "replay_batch_size",
                   "noise_neighbors", "selection", "replay_loss", "objective",
-                  "replay_sampling", "use_tape", "workers", "probe"):
+                  "replay_sampling", "use_tape", "workers", "probe",
+                  "scenario", "scenario_seed", "blur_ratio", "segments_per_task",
+                  "drift_threshold", "domain_count", "domain_shift", "long_cycles"):
         value = getattr(args, field, None)
         if value is not None:
             overrides[field] = value
@@ -136,8 +147,40 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
                              "1 runs the shard program serially; default: "
                              "classic single-process step)")
     parser.add_argument("--scale", default="ci", choices=["ci", "paper"])
+    parser.add_argument("--scenario-seed", dest="scenario_seed", type=int,
+                        help="seed for the stream builders (independent of "
+                             "the training --seed)")
+    parser.add_argument("--blur-ratio", dest="blur_ratio", type=float,
+                        help="blurry scenario: fraction of each task's data "
+                             "donated to neighbour tasks")
+    parser.add_argument("--segments-per-task", dest="segments_per_task", type=int,
+                        help="task-free scenario: unsignalled segments per "
+                             "base task")
+    parser.add_argument("--drift-threshold", dest="drift_threshold", type=float,
+                        help="task-free scenario: drift-detector firing "
+                             "threshold")
+    parser.add_argument("--domain-count", dest="domain_count", type=int,
+                        help="domain-incremental scenario: number of domains")
+    parser.add_argument("--domain-shift", dest="domain_shift", type=float,
+                        help="domain-incremental scenario: nuisance-transform "
+                             "strength")
+    parser.add_argument("--long-cycles", dest="long_cycles", type=int,
+                        help="long-sequence scenario: cycles over the base "
+                             "task order")
     parser.add_argument("--n-tasks", dest="n_tasks", type=int)
     parser.add_argument("--seed", type=int, default=0)
+
+
+def _transfer_output_path(args: argparse.Namespace):
+    """Where the serialized TransferMatrix lands for a scenario run."""
+    import pathlib
+
+    if args.transfer_output:
+        return pathlib.Path(args.transfer_output)
+    if args.output:
+        out = pathlib.Path(args.output)
+        return out.with_name(out.stem + "-transfer.json")
+    return pathlib.Path("transfer-matrix.json")
 
 
 def _command_run(args: argparse.Namespace) -> int:
@@ -150,13 +193,33 @@ def _command_run(args: argparse.Namespace) -> int:
         result = run_multitask(sequence, config, seed=args.seed, verbose=True)
         print(f"Acc = {100 * result.acc():.2f}%")
         return 0
-    result = run_method(args.method, sequence, config, seed=args.seed, verbose=True,
-                        checkpoint_dir=args.checkpoint_dir, resume=args.resume,
-                        guardrails=_guardrails_from_args(args))
+    transfer = None
+    if args.scenario is not None:
+        from repro.scenarios import run_scenario_method
+        from repro.utils.serialization import save_transfer_matrix
+
+        result, transfer = run_scenario_method(
+            args.method, sequence, config, seed=args.seed, verbose=True,
+            checkpoint_dir=args.checkpoint_dir, resume=args.resume,
+            guardrails=_guardrails_from_args(args))
+    else:
+        result = run_method(args.method, sequence, config, seed=args.seed,
+                            verbose=True, checkpoint_dir=args.checkpoint_dir,
+                            resume=args.resume,
+                            guardrails=_guardrails_from_args(args))
     print(f"\nAcc = {100 * result.acc():.2f}%   Fgt = {100 * result.fgt():.2f}%   "
           f"time = {result.elapsed_seconds:.1f}s")
     with np.printoptions(precision=3, nanstr="  .  "):
         print(result.accuracy_matrix)
+    if transfer is not None:
+        summary = transfer.summary()
+        cells = "   ".join(
+            f"{key} = {100 * value:.2f}%" if value is not None else f"{key} = n/a"
+            for key, value in summary.items())
+        print(f"transfer[{args.scenario}]: {cells}")
+        transfer_path = _transfer_output_path(args)
+        save_transfer_matrix(transfer, transfer_path)
+        print(f"transfer matrix written to {transfer_path}")
     if args.output:
         save_result(result, args.output)
         print(f"result written to {args.output}")
@@ -330,6 +393,7 @@ def _command_list(_args: argparse.Namespace) -> int:
     print("replay:    ", "css, dis, rpl (x uniform/similarity sampling)")
     print("objectives:", "simsiam, barlow, byol, vae")
     print("probes:    ", "knn, linear, ridge")
+    print("scenarios: ", ", ".join(_scenario_names()))
     return 0
 
 
@@ -343,6 +407,15 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("method", choices=METHODS + ["multitask"])
     run_parser.add_argument("benchmark")
     run_parser.add_argument("--output", help="write the result JSON here")
+    run_parser.add_argument("--scenario", choices=_scenario_names(),
+                            help="route the run through the scenario registry "
+                                 "(stream shape + first-class transfer matrix); "
+                                 "default: classic class-incremental trainer "
+                                 "path")
+    run_parser.add_argument("--transfer-output", dest="transfer_output",
+                            help="write the serialized transfer matrix here "
+                                 "(default: next to --output, else "
+                                 "./transfer-matrix.json)")
     _add_config_arguments(run_parser)
     _add_fault_tolerance_arguments(run_parser)
     run_parser.set_defaults(handler=_command_run)

@@ -7,7 +7,8 @@ interface and are driven by :class:`~repro.continual.trainer.ContinualTrainer`.
 """
 
 from repro.continual.config import ContinualConfig, build_objective
-from repro.continual.method import ContinualMethod, make_method
+from repro.continual.method import (BoundaryEvent, ContinualMethod,
+                                    make_method)
 from repro.continual.finetune import Finetune
 from repro.continual.si import SynapticIntelligence
 from repro.continual.der import DER
@@ -23,6 +24,7 @@ from repro.continual.trainer import ContinualTrainer, run_method
 __all__ = [
     "ContinualConfig",
     "build_objective",
+    "BoundaryEvent",
     "ContinualMethod",
     "make_method",
     "Finetune",

@@ -86,6 +86,30 @@ class ContinualConfig:
         bit-for-bit identical for every worker count, and a checkpointed
         run may resume under a different one.  Only engages for
         shard-safe methods (see ``ContinualMethod.shard_safe``).
+    scenario, scenario_seed:
+        Stream shape by registry name
+        (:data:`repro.scenarios.registry.SCENARIO_REGISTRY`):
+        ``"class_incremental"`` (default; byte-identical to the classic
+        trainer path), ``"task_free"``, ``"blurry"``,
+        ``"domain_incremental"``, or ``"long_sequence"``.
+        ``scenario_seed`` keys every stream builder's randomness —
+        streams are pure functions of ``(scenario_seed, params)``,
+        independent of the training seed.
+    blur_ratio:
+        Fraction of each task's training data donated to its neighbour
+        tasks under the ``blurry`` scenario (``[0, 1)``).
+    segments_per_task, drift_threshold:
+        ``task_free`` knobs: how many unsignalled segments each base
+        task is sliced into, and the
+        :class:`~repro.scenarios.drift.DriftDetector` firing threshold
+        for self-triggered boundaries.
+    domain_count, domain_shift:
+        ``domain_incremental`` knobs: number of domains and the
+        nuisance-transform strength
+        (:func:`repro.data.synthetic.apply_domain_shift`).
+    long_cycles:
+        ``long_sequence`` knob: how many times the base task order is
+        cycled (5 base tasks × 4 cycles = the 20-segment stream).
     """
 
     epochs: int = 6
@@ -124,6 +148,15 @@ class ContinualConfig:
     use_tape: bool = True
     workers: int | None = None
 
+    scenario: str = "class_incremental"
+    scenario_seed: int = 0
+    blur_ratio: float = 0.3
+    segments_per_task: int = 3
+    drift_threshold: float = 0.7
+    domain_count: int = 4
+    domain_shift: float = 0.75
+    long_cycles: int = 4
+
     def __post_init__(self):
         if self.workers is not None and self.workers < 1:
             raise ValueError("workers must be >= 1 (or None for the classic "
@@ -142,12 +175,31 @@ class ContinualConfig:
             raise ValueError("noise_neighbors must be >= 0")
         if self.representation_dim < 2:
             raise ValueError("representation_dim must be >= 2")
+        if not 0.0 <= self.blur_ratio < 1.0:
+            raise ValueError("blur_ratio must be in [0, 1)")
+        if self.segments_per_task < 1:
+            raise ValueError("segments_per_task must be >= 1")
+        if self.drift_threshold <= 0:
+            raise ValueError("drift_threshold must be positive")
+        if self.domain_count < 1:
+            raise ValueError("domain_count must be >= 1")
+        if self.domain_shift < 0:
+            raise ValueError("domain_shift must be >= 0")
+        if self.long_cycles < 1:
+            raise ValueError("long_cycles must be >= 1")
         # Late import: repro.eval.protocol transitively builds on the nn
         # stack, which imports this module's package.
         from repro.eval.protocol import PROBE_REGISTRY
         if self.probe not in PROBE_REGISTRY:
             raise ValueError(f"unknown probe {self.probe!r}; registered: "
                              f"{', '.join(sorted(PROBE_REGISTRY))}")
+        # Same late-import pattern for the scenario registry, which sits
+        # above this package in the layering.
+        from repro.scenarios.registry import SCENARIO_REGISTRY
+        if self.scenario not in SCENARIO_REGISTRY:
+            raise ValueError(f"unknown scenario {self.scenario!r}; "
+                             f"registered: "
+                             f"{', '.join(SCENARIO_REGISTRY)}")
 
     def with_overrides(self, **kwargs) -> "ContinualConfig":
         """Functional update — configs are frozen."""

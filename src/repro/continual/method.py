@@ -17,6 +17,8 @@ A method wraps the live CSSL objective and contributes:
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from repro.augment.base import TwoViewAugment
@@ -25,6 +27,29 @@ from repro.data.splits import Task
 from repro.nn.module import Parameter
 from repro.ssl.base import CSSLObjective
 from repro.tensor.tensor import Tensor
+
+
+@dataclass(frozen=True)
+class BoundaryEvent:
+    """A stream-delivered task-boundary signal (see ``repro.scenarios``).
+
+    The trainer no longer *assumes* sharp boundaries — it forwards
+    whatever its boundary controller emits.  ``phase`` is ``"begin"`` or
+    ``"end"``; ``task`` is the increment the event describes (for
+    drift-detected boundaries, the merged data of every segment in the
+    finished virtual task); ``index`` is the task index methods should
+    attribute state to (the *virtual* index in task-free streams, which
+    can lag the segment index).  ``n_tasks`` is an upper bound on the
+    total task count (``"begin"`` only, 0 on ``"end"``), and ``kind``
+    records what produced the event: ``"sharp"`` for an explicit stream
+    boundary, ``"drift"`` for one the drift heuristic inferred.
+    """
+
+    phase: str
+    task: Task
+    index: int
+    n_tasks: int = 0
+    kind: str = "sharp"
 
 
 class ContinualMethod:
@@ -49,6 +74,24 @@ class ContinualMethod:
 
     def end_task(self, task: Task, task_index: int) -> None:
         """Called after training on increment ``task_index`` finishes."""
+
+    def on_boundary(self, event: BoundaryEvent) -> None:
+        """Dispatch a stream boundary event to the lifecycle hooks.
+
+        The single entry point the trainer's boundary controllers drive:
+        sharp streams emit one begin/end pair per segment, task-free
+        streams emit them per drift-detected *virtual* task.  The default
+        routes to :meth:`begin_task` / :meth:`end_task`, so every
+        existing method works under every scenario unchanged; a method
+        wanting drift-specific behaviour overrides this and keys on
+        ``event.kind``.
+        """
+        if event.phase == "begin":
+            self.begin_task(event.task, event.index, event.n_tasks)
+        elif event.phase == "end":
+            self.end_task(event.task, event.index)
+        else:
+            raise ValueError(f"unknown boundary phase {event.phase!r}")
 
     # ------------------------------------------------------------------
     # Training

@@ -23,6 +23,22 @@ fixed-order tree all-reduce into the same leaf ``.grad`` buffers.  Results
 are bit-for-bit identical for every worker count; a worker dying mid-step
 surfaces as a ``WorkerFailure`` that enters the guardrail ladder like any
 other poisoned batch.
+
+The boundary signal is a *stream event*, not an assumption:
+:meth:`ContinualTrainer.run` accepts either a plain ``TaskSequence``
+(sharp boundaries, the classic path) or a
+:class:`~repro.scenarios.streams.ScenarioStream`.  A boundary controller
+turns the stream's shape into :class:`~repro.continual.method.BoundaryEvent`
+begin/end pairs: sharp streams get one pair per segment (behaviour
+identical to the pre-scenario trainer, pinned byte-for-byte by the parity
+test), while ``task_free`` streams route every segment through a
+:class:`~repro.scenarios.drift.DriftDetector` and emit boundaries only
+when the input statistics drift — methods self-trigger selection and
+consolidation.  Stream runs additionally record a
+:class:`~repro.eval.transfer.TransferMatrix` (online + final accuracy on
+the full eval panel per segment), rewritten atomically next to the
+checkpoints *before* each checkpoint commit so resume restores it
+bit-for-bit.
 """
 
 from __future__ import annotations
@@ -36,11 +52,14 @@ from repro.augment.base import TwoViewAugment
 from repro.augment.image import simsiam_image_pipeline
 from repro.augment.tabular import tabular_pipeline
 from repro.continual.config import ContinualConfig, build_objective
-from repro.continual.method import ContinualMethod, make_method
+from repro.continual.method import (BoundaryEvent, ContinualMethod,
+                                    make_method)
+from repro.data.dataset import ArrayDataset
 from repro.data.loader import DataLoader
-from repro.data.splits import TaskSequence
+from repro.data.splits import Task, TaskSequence
 from repro.eval.metrics import ContinualResult
-from repro.eval.protocol import evaluate_tasks
+from repro.eval.protocol import evaluate_task, evaluate_tasks
+from repro.eval.transfer import TransferMatrix
 from repro.faults import plane as _faults
 from repro.optim import SGD, Adam, ConstantLR, CosineLR
 from repro.parallel import N_SHARDS, ShardedStep, WorkerFailure
@@ -49,9 +68,13 @@ from repro.runtime.guardrail import (GuardrailPolicy, GuardrailViolation,
                                      RunLog, TrainingDiverged,
                                      build_failure_report, clip_detail,
                                      global_grad_norm)
+from repro.scenarios.drift import DriftDetector
+from repro.scenarios.streams import ScenarioStream
 from repro.tensor.anomaly import AnomalyError, detect_anomaly
 from repro.tensor.tape import TapedFunction
 from repro.utils.rng import get_rng_state, set_rng_state
+from repro.utils.serialization import (load_transfer_matrix,
+                                       save_transfer_matrix)
 
 
 def _build_optimizer(config: ContinualConfig, parameters):
@@ -78,6 +101,116 @@ def _build_augment(config: ContinualConfig, train_x: np.ndarray) -> TwoViewAugme
     if train_x.ndim == 2:
         return TwoViewAugment(tabular_pipeline(train_x, config.tabular_corruption))
     raise ValueError(f"unsupported data shape {train_x.shape}")
+
+
+class SharpBoundaryController:
+    """Default boundary controller: every stream segment is its own task.
+
+    Emits exactly the begin/end pair per segment the pre-scenario trainer
+    hard-coded, routed through :meth:`ContinualMethod.on_boundary` — the
+    behaviour-preserving half of the stream-event refactor.  Stateless,
+    so its checkpoint contribution is ``None`` (sharp-stream checkpoint
+    bytes stay identical to the legacy format).
+    """
+
+    def begin_segment(self, method: ContinualMethod, task: Task,
+                      task_index: int, n_tasks: int) -> None:
+        method.on_boundary(BoundaryEvent("begin", task, task_index, n_tasks))
+
+    def end_segment(self, method: ContinualMethod, task: Task,
+                    task_index: int, is_last: bool) -> None:
+        method.on_boundary(BoundaryEvent("end", task, task_index))
+
+    def state_dict(self) -> dict | None:
+        return None
+
+    def load_state_dict(self, state: dict | None) -> None:
+        if state is not None:
+            raise CheckpointError(
+                "checkpoint carries task-free stream state but this run uses "
+                "sharp boundaries — resume under the original scenario")
+
+
+class TaskFreeBoundaryController:
+    """Self-triggered boundaries for streams with no boundary signal.
+
+    Routes every arriving segment's raw data through a
+    :class:`~repro.scenarios.drift.DriftDetector`.  While the statistics
+    hold steady, segments accumulate into the current *virtual task* and
+    no method hook fires; when they drift, the previous virtual task ends
+    — ``end`` is delivered with the merged data of all its segments, so
+    selection methods (EDSR's boundary-triggered selection in particular)
+    see one coherent increment — and a new one begins.  Virtual indices
+    therefore lag segment indices; ``n_tasks`` passed at ``begin`` is the
+    segment count, the upper bound on how many virtual tasks can exist
+    (memory budgets split by it stay conservative).
+
+    Fully serializable: the state (virtual index, open segment indices,
+    detector statistics) joins the guardrail snapshot and the checkpoint
+    run state, so restores and resumes replay the detection trajectory
+    bit-for-bit.  The stream itself is not serialized — it is rebuilt as
+    a pure function of the scenario config, and the open-segment indices
+    re-reference it.
+    """
+
+    def __init__(self, stream: ScenarioStream, detector: DriftDetector):
+        # Rebuilt deterministically from the scenario config on resume;
+        # the serialized state references it by segment index only.
+        self._stream = stream  # repro-lint: disable=SER002
+        self.detector = detector
+        self.virtual_index = -1
+        self.open_segments: list[int] = []
+
+    def begin_segment(self, method: ContinualMethod, task: Task,
+                      task_index: int, n_tasks: int) -> None:
+        drifted = self.detector.observe(task.train.x)
+        if self.virtual_index < 0:
+            self.virtual_index = 0
+            self.open_segments = [task_index]
+            method.on_boundary(BoundaryEvent("begin", task, 0, n_tasks,
+                                             kind="drift"))
+        elif drifted:
+            method.on_boundary(BoundaryEvent("end", self._merged_task(),
+                                             self.virtual_index, kind="drift"))
+            self.virtual_index += 1
+            self.open_segments = [task_index]
+            method.on_boundary(BoundaryEvent("begin", task, self.virtual_index,
+                                             n_tasks, kind="drift"))
+        else:
+            self.open_segments.append(task_index)
+
+    def end_segment(self, method: ContinualMethod, task: Task,
+                    task_index: int, is_last: bool) -> None:
+        if is_last:
+            method.on_boundary(BoundaryEvent("end", self._merged_task(),
+                                             self.virtual_index, kind="drift"))
+
+    def _merged_task(self) -> Task:
+        """The finished virtual task: its open segments merged into one."""
+        segments = [self._stream.segments[i].task for i in self.open_segments]
+        train = ArrayDataset.concatenate(
+            [s.train for s in segments],
+            name=f"virtual-task-{self.virtual_index}")
+        classes = tuple(int(c) for c in train.classes)
+        return Task(task_id=self.virtual_index, classes=classes, train=train,
+                    test=segments[-1].test)
+
+    def state_dict(self) -> dict:
+        return {
+            "virtual_index": self.virtual_index,
+            "open_segments": list(self.open_segments),
+            "detector": self.detector.state_dict(),
+        }
+
+    def load_state_dict(self, state: dict | None) -> None:
+        if state is None:
+            raise CheckpointError(
+                "checkpoint carries no task-free stream state — it was "
+                "written by a sharp-boundary run; resume under the original "
+                "scenario")
+        self.virtual_index = int(state["virtual_index"])
+        self.open_segments = [int(i) for i in state["open_segments"]]
+        self.detector.load_state_dict(state["detector"])
 
 
 class ContinualTrainer:
@@ -118,6 +251,10 @@ class ContinualTrainer:
         self._sharded_step: ShardedStep | None = None
         self._shard_active = False
         self._task_index = 0
+        self._controller = SharpBoundaryController()
+        #: The stream run's TransferMatrix (``None`` for plain sequences);
+        #: populated by :meth:`run` and kept current row by row.
+        self.transfer_matrix: TransferMatrix | None = None
         self.checkpoints = None
         log_path = None
         if checkpoint_dir is not None:
@@ -131,7 +268,7 @@ class ContinualTrainer:
     def _run_state(self, task_index: int, n_tasks: int,
                    result: ContinualResult) -> dict:
         """The full serializable state of the run after ``task_index``."""
-        return {
+        state = {
             "method_name": self.method.name,
             "n_tasks": n_tasks,
             "task_index": task_index,
@@ -139,6 +276,13 @@ class ContinualTrainer:
             "rng": get_rng_state(self.rng),
             "result": result.state_dict(),
         }
+        # Only stateful controllers (task-free streams) contribute; sharp
+        # runs omit the key so their checkpoint bytes stay identical to
+        # the pre-scenario format.
+        stream_state = self._controller.state_dict()
+        if stream_state is not None:
+            state["stream"] = stream_state
+        return state
 
     def _restore_run_state(self, state: dict, n_tasks: int,
                            result: ContinualResult) -> int:
@@ -154,6 +298,7 @@ class ContinualTrainer:
         self.method.load_state_dict(state["method"])
         set_rng_state(self.rng, state["rng"])
         result.load_state_dict(state["result"])
+        self._controller.load_state_dict(state.get("stream"))
         return int(state["task_index"]) + 1
 
     def _save_checkpoint(self, task_index: int, n_tasks: int,
@@ -184,11 +329,25 @@ class ContinualTrainer:
     # ------------------------------------------------------------------
     # Main loop
     # ------------------------------------------------------------------
-    def run(self, sequence: TaskSequence, resume: bool = False) -> ContinualResult:
+    def run(self, sequence: TaskSequence | ScenarioStream,
+            resume: bool = False) -> ContinualResult:
+        """Train over a task sequence or a scenario stream.
+
+        A plain :class:`TaskSequence` runs the classic sharp-boundary
+        loop.  A :class:`~repro.scenarios.streams.ScenarioStream` runs
+        segment by segment under the stream's boundary controller and
+        additionally fills :attr:`transfer_matrix` — one online row
+        (probed *before* the segment trains) and one final row (after)
+        over the stream's full eval panel per segment.
+        """
         config = self.config
         method = self.method
+        stream = sequence if isinstance(sequence, ScenarioStream) else None
         n_tasks = len(sequence)
         result = ContinualResult(n_tasks, name=method.name, probe=config.probe)
+        self._controller = self._make_controller(stream)
+        transfer = None if stream is None else self._make_transfer(stream)
+        self.transfer_matrix = transfer
         start_task = 0
         prior_elapsed = 0.0
 
@@ -201,6 +360,8 @@ class ContinualTrainer:
                     self.log.append("corrupt-checkpoint", detail=reason)
                 start_task = self._restore_run_state(loaded.state, n_tasks, result)
                 prior_elapsed = result.elapsed_seconds
+                if transfer is not None:
+                    self._restore_transfer(transfer, start_task)
                 self.log.append("resume", task_index=start_task,
                                 checkpoint=str(loaded.path))
                 if self.verbose:
@@ -209,16 +370,38 @@ class ContinualTrainer:
 
         start = time.perf_counter()
         try:
-            for task_index, task in enumerate(sequence):
+            for task_index in range(n_tasks):
                 if task_index < start_task:
                     continue
+                task = (sequence[task_index] if stream is None
+                        else stream.segments[task_index].task)
+                if transfer is not None:
+                    online_row = evaluate_tasks(method.objective,
+                                                list(stream.eval_tasks),
+                                                knn_k=config.knn_k,
+                                                probe=config.probe)
                 self._run_task(task, task_index, n_tasks)
-                accuracies = evaluate_tasks(method.objective,
-                                            list(sequence)[:task_index + 1],
-                                            knn_k=config.knn_k,
-                                            probe=config.probe)
+                if stream is None:
+                    accuracies = evaluate_tasks(method.objective,
+                                                list(sequence)[:task_index + 1],
+                                                knn_k=config.knn_k,
+                                                probe=config.probe)
+                else:
+                    final_row = evaluate_tasks(method.objective,
+                                               list(stream.eval_tasks),
+                                               knn_k=config.knn_k,
+                                               probe=config.probe)
+                    accuracies = self._segment_accuracies(stream, task_index,
+                                                          final_row)
                 result.record_row(accuracies)
                 result.elapsed_seconds = prior_elapsed + (time.perf_counter() - start)
+                if transfer is not None:
+                    # Matrix first, checkpoint second: a crash between the
+                    # two leaves the matrix one row ahead, which resume
+                    # truncates back to the checkpoint's row count — the
+                    # reverse order would lose a row it cannot recompute.
+                    transfer.record_row(online_row, final_row)
+                    self._save_transfer(transfer)
                 self._save_checkpoint(task_index, n_tasks, result)
                 # Whole-process crash site (chaos scenarios): fires between
                 # the checkpoint commit and the next task, the window a
@@ -235,6 +418,96 @@ class ContinualTrainer:
 
         result.elapsed_seconds = prior_elapsed + (time.perf_counter() - start)
         return result
+
+    # ------------------------------------------------------------------
+    # Stream plumbing (boundary controllers and the transfer matrix)
+    # ------------------------------------------------------------------
+    def _make_controller(self, stream: ScenarioStream | None):
+        if stream is not None and stream.boundary_mode == "task_free":
+            return TaskFreeBoundaryController(
+                stream, DriftDetector(stream.drift_threshold))
+        return SharpBoundaryController()
+
+    def _make_transfer(self, stream: ScenarioStream) -> TransferMatrix:
+        eval_names = [f"task-{task.task_id}" for task in stream.eval_tasks]
+        chance = [1.0 / max(1, len(task.classes))
+                  for task in stream.eval_tasks]
+        return TransferMatrix(
+            len(stream), eval_names, name=self.method.name,
+            scenario=stream.scenario, probe=self.config.probe,
+            row_sources=[segment.source_task for segment in stream.segments],
+            chance=chance)
+
+    def _segment_accuracies(self, stream: ScenarioStream, task_index: int,
+                            final_row: list[float]) -> list[float]:
+        """The classic result row over segments seen so far.
+
+        Segments whose test split *is* an eval-panel task (``eval_alias``)
+        reuse the panel row — for sharp streams that makes the result
+        matrix provably equal to the classic path's; alias-free segments
+        are probed directly.
+        """
+        accuracies = []
+        for segment in stream.segments[:task_index + 1]:
+            if segment.eval_alias is not None:
+                accuracies.append(final_row[segment.eval_alias])
+            else:
+                accuracies.append(evaluate_task(
+                    self.method.objective, segment.task, self.config.knn_k,
+                    probe=self.config.probe))
+        return accuracies
+
+    def _transfer_path(self) -> pathlib.Path | None:
+        if self.checkpoints is None:
+            return None
+        return self.checkpoints.directory / "transfer-matrix.json"
+
+    def _save_transfer(self, transfer: TransferMatrix) -> None:
+        path = self._transfer_path()
+        if path is None:
+            return
+        try:
+            save_transfer_matrix(transfer, path)
+        except OSError as exc:
+            # Best-effort, like checkpoints: a failed matrix write must
+            # not kill a training run.  Resume backfills what it cannot
+            # recover (see _restore_transfer).
+            self.log.append("transfer-save-failed", detail=clip_detail(exc))
+
+    def _restore_transfer(self, transfer: TransferMatrix,
+                          start_task: int) -> None:
+        """Reload the on-disk matrix and align it with the checkpoint.
+
+        The matrix is written *before* each checkpoint, so it is normally
+        at or ahead of the checkpoint's row count: ahead gets truncated
+        (the re-run segments re-record identical rows).  Behind means an
+        earlier save failed — those model states are gone, so the lost
+        rows are backfilled as NaN and logged rather than silently
+        misaligned.
+        """
+        path = self._transfer_path()
+        loaded = None
+        if path is not None and path.exists():
+            try:
+                loaded = load_transfer_matrix(path)
+            except (OSError, ValueError, KeyError) as exc:
+                self.log.append("transfer-load-failed",
+                                detail=clip_detail(exc))
+        if loaded is not None and (loaded.n_rows != transfer.n_rows
+                                   or loaded.n_eval != transfer.n_eval):
+            self.log.append(
+                "transfer-load-failed",
+                detail=f"matrix shape {loaded.n_rows}x{loaded.n_eval} does "
+                       f"not match stream {transfer.n_rows}x{transfer.n_eval}")
+            loaded = None
+        if loaded is not None:
+            transfer.load_state_dict(loaded.state_dict())
+        if transfer.rows_recorded > start_task:
+            transfer.truncate(start_task)
+        elif transfer.rows_recorded < start_task:
+            self.log.append("transfer-backfilled",
+                            rows=start_task - transfer.rows_recorded)
+            transfer.backfill(start_task)
 
     def _log_step_event(self, kind: str, **fields) -> None:
         """Operational events from the sharded step (e.g. pool-degraded)."""
@@ -283,15 +556,19 @@ class ContinualTrainer:
                                              name=f"{method.name}-step")
 
         # Task-start snapshot: equivalent to the last good checkpoint (same
-        # boundary), held in memory so a restore never touches disk.
+        # boundary), held in memory so a restore never touches disk.  The
+        # boundary controller's state joins it: begin_segment can fire
+        # method hooks and advance the drift detector, and a restore must
+        # replay both identically.
         snapshot = None
         if policy is not None:
             snapshot = {"method": method.state_dict(),
-                        "rng": get_rng_state(self.rng)}
+                        "rng": get_rng_state(self.rng),
+                        "stream": self._controller.state_dict()}
 
         restores = 0
         while True:
-            method.begin_task(task, task_index, n_tasks)
+            self._controller.begin_segment(method, task, task_index, n_tasks)
             optimizer = _build_optimizer(config, method.trainable_parameters())
             if restores:
                 optimizer.lr *= policy.lr_backoff ** restores
@@ -306,7 +583,8 @@ class ContinualTrainer:
             method.objective.train()
 
             if self._train_task_epochs(loader, schedule, optimizer, task_index):
-                method.end_task(task, task_index)
+                self._controller.end_segment(method, task, task_index,
+                                             task_index == n_tasks - 1)
                 return
 
             # Too many poisoned batches: escalate to restore + LR backoff.
@@ -315,6 +593,7 @@ class ContinualTrainer:
             restores += 1
             method.load_state_dict(snapshot["method"])
             set_rng_state(self.rng, snapshot["rng"])
+            self._controller.load_state_dict(snapshot["stream"])
             self.log.append("restore", task_index=task_index, restores=restores,
                             lr_scale=policy.lr_backoff ** restores)
             if self.verbose:

@@ -101,6 +101,51 @@ def _class_prototype(rng: np.random.Generator, channels: int, size: int) -> np.n
     return np.clip(0.5 + pattern[None] + color, 0.0, 1.0)
 
 
+#: RNG namespace tag for domain-shift draws ("DOM"), so a domain's
+#: transform can never collide with another consumer of the same seed.
+_DOMAIN_TAG = 0x444F4D
+
+
+def apply_domain_shift(x: np.ndarray, domain: int, strength: float = 0.5,
+                       seed: int = 0) -> np.ndarray:
+    """Deterministic nuisance transform defining domain ``domain``.
+
+    A pure function of ``(domain, strength, seed)``: the same inputs give
+    the same shifted arrays on every process.  Domain 0 is the identity —
+    the reference domain — so a one-domain stream degenerates to the
+    unshifted data.  The transforms change *style*, not content:
+
+    - images ``(N, C, H, W)``: a per-domain smooth additive color field
+      (the :func:`_smooth_field` generator the prototypes use) plus
+      per-channel gains, clipped back to ``[0, 1]``;
+    - tabular ``(N, F)``: a per-feature affine map (gain + offset).
+    """
+    x = np.asarray(x, dtype=np.float32)
+    if domain < 0:
+        raise ValueError("domain must be >= 0")
+    if strength < 0:
+        raise ValueError("strength must be >= 0")
+    if domain == 0 or strength == 0 or len(x) == 0:
+        return x.copy()
+    rng = np.random.default_rng([seed, _DOMAIN_TAG, domain])
+    if x.ndim == 4:
+        _n, channels, height, width = x.shape
+        if height != width:
+            raise ValueError(f"images must be square, got {x.shape}")
+        field = _smooth_field(rng, channels, height, grid=4, sigma=1.0)
+        gain = 1.0 + 0.3 * strength * rng.uniform(-1.0, 1.0,
+                                                  size=(channels, 1, 1))
+        shifted = x * gain[None].astype(np.float32)
+        shifted = shifted + (0.25 * strength * field)[None].astype(np.float32)
+        return np.clip(shifted, 0.0, 1.0).astype(np.float32)
+    if x.ndim == 2:
+        n_features = x.shape[1]
+        gain = 1.0 + 0.3 * strength * rng.uniform(-1.0, 1.0, size=n_features)
+        offset = 0.25 * strength * rng.normal(size=n_features)
+        return (x * gain + offset).astype(np.float32)
+    raise ValueError(f"unsupported data shape {x.shape}")
+
+
 def make_image_dataset(config: SyntheticImageConfig) -> tuple[ArrayDataset, ArrayDataset]:
     """Generate the (train, test) pair for ``config``.
 

@@ -7,6 +7,7 @@ from repro.eval.protocol import (PROBE_REGISTRY, evaluate_tasks,
                                  extract_representations, make_probe,
                                  probe_names, register_probe)
 from repro.eval.ridge import RidgeProbe, RidgeStatistics
+from repro.eval.transfer import TransferMatrix
 
 __all__ = [
     "KNNClassifier",
@@ -14,6 +15,7 @@ __all__ = [
     "RidgeProbe",
     "RidgeStatistics",
     "ContinualResult",
+    "TransferMatrix",
     "forgetting_matrix",
     "evaluate_tasks",
     "extract_representations",

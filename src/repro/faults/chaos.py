@@ -80,6 +80,22 @@ def _policy(scenario: Scenario) -> GuardrailPolicy:
     return GuardrailPolicy(**overrides)
 
 
+def _run_target(scenario: Scenario, sequence: TaskSequence,
+                config: ContinualConfig):
+    """What the trainer consumes: the sharp sequence, or — for scenarios
+    with a ``stream`` — the registry-built stream over it.
+
+    Streams are pure functions of ``(scenario_seed, params)``, so every
+    leg (injected, resume, reference) rebuilds the identical stream.
+    """
+    if scenario.stream is None:
+        return sequence
+    from repro.scenarios import build_stream
+
+    return build_stream(scenario.stream, sequence,
+                        config.with_overrides(scenario=scenario.stream))
+
+
 def _build_trainer(config: ContinualConfig, seed: int, sequence: TaskSequence,
                    checkpoint_dir, policy: GuardrailPolicy) -> ContinualTrainer:
     rng = np.random.default_rng(seed)
@@ -100,17 +116,19 @@ def _reference_state(scenario: Scenario, seed: int, sequence: TaskSequence,
                      cache: dict) -> dict:
     """The uninjected reference result for ``scenario``'s run shape.
 
-    Cached per (workers, use_tape, anomaly) — the three knobs that select
-    the dispatch path; scenarios sharing a shape share the reference.
+    Cached per (workers, use_tape, anomaly, stream) — the knobs that
+    select the dispatch path and the stream the trainer consumes;
+    scenarios sharing a shape share the reference.
     """
     workers = (scenario.reference_workers
                if scenario.reference_workers is not None else scenario.workers)
-    key = (workers, scenario.use_tape, scenario.anomaly)
+    key = (workers, scenario.use_tape, scenario.anomaly, scenario.stream)
     if key not in cache:
         config = chaos_config(workers=workers, use_tape=scenario.use_tape)
         policy = GuardrailPolicy(anomaly_mode=scenario.anomaly)
         trainer = _build_trainer(config, seed, sequence, None, policy)
-        cache[key] = _comparable(trainer.run(sequence).state_dict())
+        target = _run_target(scenario, sequence, config)
+        cache[key] = _comparable(trainer.run(target).state_dict())
     return cache[key]
 
 
@@ -120,7 +138,8 @@ def _resume_leg(scenario: Scenario, seed: int, sequence: TaskSequence,
     """After an injected crash: resume unfaulted, demand bit-for-bit."""
     try:
         trainer = _build_trainer(config, seed, sequence, run_dir, policy)
-        result = trainer.run(sequence, resume=True)
+        result = trainer.run(_run_target(scenario, sequence, config),
+                             resume=True)
     except Exception as exc:  # noqa: BLE001 - classified, not propagated
         return "FAILED", (f"resume after crash failed: "
                           f"{type(exc).__name__}: {exc}"), None
@@ -157,7 +176,7 @@ def run_scenario(name: str, seed: int = 0,
     detail = ""
     try:
         with plane.armed(plan):
-            result = trainer.run(sequence)
+            result = trainer.run(_run_target(scenario, sequence, config))
         outcome = "survived"
     except TrainingDiverged as exc:
         outcome = "clean-abort"

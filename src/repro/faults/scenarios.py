@@ -41,7 +41,10 @@ class Scenario:
     to be bit-for-bit equal to an uninjected reference run
     (``reference_workers`` overrides the reference's worker count — the
     degradation scenario compares against the uninjected ``workers=1``
-    run, per the serial-fallback contract).
+    run, per the serial-fallback contract).  ``stream`` names a scenario
+    from :data:`repro.scenarios.SCENARIO_REGISTRY`: the harness then
+    trains on that stream shape instead of the sharp task sequence, so
+    faults land inside task-free segments and blurry pseudo-boundaries.
     """
 
     name: str
@@ -54,6 +57,7 @@ class Scenario:
     verify: str = "none"  # "none" | "identical"
     reference_workers: int | None = None
     policy_overrides: Mapping[str, object] = field(default_factory=dict)
+    stream: str | None = None
 
 
 def _no_events(_rng: np.random.Generator) -> tuple[FaultEvent, ...]:
@@ -210,6 +214,17 @@ _CATALOG = (
                     "serial regime, identical to uninjected workers=1",
         expect="survived", events=_pool_degrade, workers=2, anomaly=False,
         verify="identical", reference_workers=1),
+    Scenario(
+        name="task-free-loader-fault",
+        description="persistent batch-read fault inside an unsignalled "
+                    "task-free segment: the drift-driven run survives on "
+                    "the guardrail budget",
+        expect="survived", events=_loader_persistent, stream="task_free"),
+    Scenario(
+        name="blurry-boundary-crash",
+        description="process dies at the first blurry pseudo-boundary; "
+                    "resume over the rebuilt stream must be bit-for-bit",
+        expect="resume-verified", events=_crash_boundary, stream="blurry"),
     Scenario(
         name="worker-hang-close",
         description="a worker ignores stop/SIGTERM at shutdown; close() "

@@ -1,0 +1,91 @@
+"""Input-statistics drift heuristic for task-free streams.
+
+Task-free streams deliver no boundary signal, but methods like EDSR need
+*some* trigger for selection/consolidation.  The :class:`DriftDetector`
+watches the raw input statistics of each arriving segment — per-feature
+means against a running reference of the segments since the last
+boundary — and declares a boundary when the normalized shift exceeds a
+threshold.  Deliberately model-free: it reads only the data (no
+representations, no loss), so detection order is identical on every
+process and consumes no trainer RNG.
+
+The score is ``mean |mu_seg - mu_ref| / (scale_ref + eps)`` where
+``mu_ref`` is the mean of the segment means accumulated since the last
+boundary and ``scale_ref`` the mean within-segment standard deviation —
+an SNR-style statistic that is scale-free across image and tabular data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["DriftDetector"]
+
+_EPS = 1e-8
+
+
+class DriftDetector:
+    """Declares task boundaries from per-segment input statistics.
+
+    ``observe`` returns ``True`` when the new segment drifted away from
+    the running reference; the reference then restarts from that segment.
+    Fully serializable (``state_dict`` / ``load_state_dict``) so the
+    trainer's checkpoint and in-memory guardrail snapshots restore the
+    detection trajectory bit-for-bit.
+    """
+
+    def __init__(self, threshold: float = 0.7):
+        if threshold <= 0:
+            raise ValueError("threshold must be positive")
+        self.threshold = float(threshold)
+        self._n_segments = 0
+        self._ref_mean: np.ndarray | None = None
+        self._ref_scale = 0.0
+
+    def observe(self, x: np.ndarray) -> bool:
+        """Account one segment's data; ``True`` means a boundary fired."""
+        features = np.asarray(x, dtype=np.float64).reshape(len(x), -1)
+        mean = features.mean(axis=0)
+        scale = float(features.std(axis=0).mean())
+        drifted = False
+        if self._n_segments > 0:
+            score = float(np.abs(mean - self._ref_mean).mean())
+            drifted = score / (self._ref_scale / self._n_segments + _EPS) \
+                > self.threshold
+        if drifted:
+            self._n_segments = 0
+            self._ref_mean = None
+            self._ref_scale = 0.0
+        if self._n_segments == 0:
+            self._ref_mean = mean
+            self._ref_scale = scale
+        else:
+            self._ref_mean = self._ref_mean + (mean - self._ref_mean) \
+                / (self._n_segments + 1)
+            self._ref_scale += scale
+        self._n_segments += 1
+        return drifted
+
+    # ------------------------------------------------------------------
+    # Serialization (guardrail snapshots and checkpoints)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        return {
+            "threshold": self.threshold,
+            "n_segments": self._n_segments,
+            "ref_mean": None if self._ref_mean is None
+            else self._ref_mean.copy(),
+            "ref_scale": float(self._ref_scale),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self.threshold = float(state["threshold"])
+        self._n_segments = int(state["n_segments"])
+        ref_mean = state["ref_mean"]
+        self._ref_mean = None if ref_mean is None \
+            else np.asarray(ref_mean, dtype=np.float64).copy()
+        self._ref_scale = float(state["ref_scale"])
+
+    def __repr__(self) -> str:
+        return (f"DriftDetector(threshold={self.threshold}, "
+                f"segments_since_boundary={self._n_segments})")

@@ -32,6 +32,8 @@ __all__ = [
     "load_model",
     "save_result",
     "load_result",
+    "save_transfer_matrix",
+    "load_transfer_matrix",
     "collect_results",
     "build_report",
     "write_report",
@@ -48,6 +50,8 @@ _LAZY_EXPORTS = {
     "load_model": "repro.utils.serialization",
     "save_result": "repro.utils.serialization",
     "load_result": "repro.utils.serialization",
+    "save_transfer_matrix": "repro.utils.serialization",
+    "load_transfer_matrix": "repro.utils.serialization",
     "collect_results": "repro.utils.report",
     "build_report": "repro.utils.report",
     "write_report": "repro.utils.report",

@@ -1,13 +1,19 @@
 """Saving and loading models and experiment results.
 
-Model state dicts go to ``.npz`` (pure arrays); continual results go to
-``.json`` with the accuracy matrix inlined, so downstream analysis does not
-need this library installed.
+Model state dicts go to ``.npz`` (pure arrays); continual results and
+transfer matrices go to ``.json`` with the matrices inlined, so
+downstream analysis does not need this library installed.
 
 Interrupted runs are first-class: :func:`save_result` records how many rows
 of the accuracy matrix were actually recorded, and :func:`load_result`
 rebuilds exactly that partial state, so ``save → load`` round-trips both
 complete and partial results (including ``elapsed_seconds``).
+
+Transfer matrices additionally go through the checkpoint layer's atomic
+writer (:func:`repro.runtime.checkpoint.atomic_write_bytes`): the trainer
+rewrites the file on every stream boundary next to the checkpoints, so a
+crash mid-write must leave either the old rows or the new rows — never a
+torn file — for the bit-for-bit resume contract to hold.
 """
 
 from __future__ import annotations
@@ -18,7 +24,9 @@ import pathlib
 import numpy as np
 
 from repro.eval.metrics import ContinualResult
+from repro.eval.transfer import TransferMatrix
 from repro.nn.module import Module
+from repro.runtime.checkpoint import atomic_write_bytes
 
 
 def _npz_path(path: str | pathlib.Path) -> pathlib.Path:
@@ -115,3 +123,22 @@ def load_result(path: str | pathlib.Path) -> ContinualResult:
         result.record_row(row)
     result.elapsed_seconds = payload["elapsed_seconds"]
     return result
+
+
+def save_transfer_matrix(transfer: TransferMatrix,
+                         path: str | pathlib.Path) -> None:
+    """Atomically write a transfer matrix to JSON.
+
+    Same inlined-matrix philosophy as :func:`save_result`, but through
+    the atomic writer: the trainer overwrites this file on every stream
+    boundary, and resume reads it back expecting either the previous or
+    the new rows — partial writes would break the bit-for-bit contract.
+    """
+    data = json.dumps(transfer.to_payload(), indent=2).encode("utf-8")
+    atomic_write_bytes(pathlib.Path(path), data, site="transfer.matrix")
+
+
+def load_transfer_matrix(path: str | pathlib.Path) -> TransferMatrix:
+    """Rebuild a :class:`TransferMatrix` from :func:`save_transfer_matrix`."""
+    payload = json.loads(pathlib.Path(path).read_text())
+    return TransferMatrix.from_payload(payload)

@@ -27,6 +27,8 @@ SMOKE_SCENARIOS = [
     "crash-task-boundary",
     "crash-late",
     "crash-torn-checkpoint",
+    "task-free-loader-fault",
+    "blurry-boundary-crash",
     "worker-exception",
 ]
 

@@ -195,6 +195,79 @@ class TestShardedKillAndResume:
         assert loaded.meta == {"probe": "knn", "workers": 2, "n_shards": 6}
 
 
+class TestLongSequenceKillAndResume:
+    """Scenario-path acceptance: a 20+ segment ``long_sequence`` run
+    killed mid-stream and resumed in a fresh process reproduces the
+    uninterrupted run bit-for-bit — accuracy matrix, transfer matrix
+    (online *and* final views), final weights, and trainer RNG state."""
+
+    @pytest.mark.slow
+    def test_21_segment_resume_is_bit_for_bit(self, fast_config,
+                                              tiny_sequence, tmp_path):
+        from repro.scenarios import run_scenario_method
+
+        config = fast_config.with_overrides(epochs=1, long_cycles=7,
+                                            scenario="long_sequence")
+        n_segments = 7 * len(tiny_sequence)
+
+        def scenario_trainer(checkpoint_dir=None, resume=False):
+            return run_scenario_method("edsr", tiny_sequence, config,
+                                       seed=SEED,
+                                       checkpoint_dir=checkpoint_dir,
+                                       resume=resume)
+
+        expected, expected_tm = scenario_trainer()
+        assert expected_tm.n_rows == n_segments
+
+        # Checkpointed run, then a crash that loses the last two
+        # checkpoints: resume restarts at segment 19 of 21.
+        crash_dir = tmp_path / "crashed"
+        scenario_trainer(checkpoint_dir=crash_dir)
+        for lost in (n_segments - 1, n_segments - 2):
+            (crash_dir / f"ckpt-{lost:05d}.json").unlink()
+            (crash_dir / f"ckpt-{lost:05d}.npz").unlink()
+
+        result, transfer = scenario_trainer(checkpoint_dir=crash_dir,
+                                            resume=True)
+
+        np.testing.assert_array_equal(result.accuracy_matrix,
+                                      expected.accuracy_matrix)
+        np.testing.assert_array_equal(transfer.online, expected_tm.online)
+        np.testing.assert_array_equal(transfer.final, expected_tm.final)
+        assert transfer.complete
+
+    @pytest.mark.slow
+    def test_resume_restores_weights_and_rng_state(self, fast_config,
+                                                   tiny_sequence, tmp_path):
+        from repro.continual import ContinualTrainer
+        from repro.scenarios import build_stream
+
+        config = fast_config.with_overrides(epochs=1, long_cycles=7,
+                                            scenario="long_sequence")
+        stream = build_stream("long_sequence", tiny_sequence, config)
+        n_segments = len(stream)
+
+        def stream_trainer(**kwargs) -> ContinualTrainer:
+            return fresh_trainer("edsr", config, tiny_sequence, **kwargs)
+
+        baseline = stream_trainer()
+        baseline.run(stream)
+
+        crashed = stream_trainer(checkpoint_dir=tmp_path)
+        crashed.run(stream)
+        (tmp_path / f"ckpt-{n_segments - 1:05d}.json").unlink()
+        (tmp_path / f"ckpt-{n_segments - 1:05d}.npz").unlink()
+
+        resumed = stream_trainer(checkpoint_dir=tmp_path)
+        resumed.run(stream, resume=True)
+
+        assert_same_weights(resumed.method, baseline.method)
+        assert resumed.rng.bit_generator.state == \
+            baseline.rng.bit_generator.state
+        kinds = [e["kind"] for e in resumed.log.events]
+        assert "resume" in kinds
+
+
 class TestResumeValidation:
     def test_resume_without_checkpoint_dir_raises(self, fast_config,
                                                   tiny_sequence):

@@ -1,0 +1,89 @@
+"""Parity regression: the scenario path is byte-identical to the classic
+trainer path for ``class_incremental``.
+
+Same seed, same config → the registry-routed run must reproduce the
+direct :func:`run_method` run exactly — accuracy matrix, serialized
+result JSON bytes, and every checkpoint artifact byte for byte.  This is
+the contract that makes the scenario refactor a pure generalization
+rather than a behavior change.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.continual import run_method
+from repro.scenarios import run_scenario_method
+from repro.utils.serialization import save_result
+
+SEED = 77
+
+
+def canonical_manifest(path) -> bytes:
+    """Manifest bytes with the one wall-clock field zeroed.
+
+    ``elapsed_seconds`` is real timing — it differs even between two
+    classic runs of the same seed — so byte parity is asserted on
+    everything else.
+    """
+    manifest = json.loads(path.read_text(encoding="utf-8"))
+    manifest["tree"]["result"]["elapsed_seconds"] = 0.0
+    return json.dumps(manifest, sort_keys=True).encode("utf-8")
+
+
+@pytest.mark.parametrize("method", ["finetune", "edsr"])
+def test_class_incremental_parity_is_byte_for_byte(method, fast_config,
+                                                   tiny_sequence, tmp_path):
+    config = fast_config.with_overrides(epochs=1)
+    classic_dir = tmp_path / "classic"
+    scenario_dir = tmp_path / "scenario"
+
+    classic = run_method(method, tiny_sequence, config, seed=SEED,
+                         checkpoint_dir=classic_dir)
+    routed, transfer = run_scenario_method(
+        method, tiny_sequence, config.with_overrides(
+            scenario="class_incremental"),
+        seed=SEED, checkpoint_dir=scenario_dir)
+
+    np.testing.assert_array_equal(routed.accuracy_matrix,
+                                  classic.accuracy_matrix)
+
+    # Serialized results: identical bytes (timing excluded by zeroing).
+    classic.elapsed_seconds = routed.elapsed_seconds = 0.0
+    save_result(classic, tmp_path / "classic.json")
+    save_result(routed, tmp_path / "routed.json")
+    assert (tmp_path / "classic.json").read_bytes() == \
+        (tmp_path / "routed.json").read_bytes()
+
+    # Checkpoint artifacts: same file set (modulo the transfer matrix,
+    # which only the scenario path emits), every shared file identical.
+    classic_files = {p.name for p in classic_dir.glob("ckpt-*")}
+    scenario_files = {p.name for p in scenario_dir.glob("ckpt-*")}
+    assert classic_files == scenario_files and classic_files
+    for name in sorted(classic_files):
+        if name.endswith(".json"):
+            assert canonical_manifest(classic_dir / name) == \
+                canonical_manifest(scenario_dir / name), name
+        else:
+            assert (classic_dir / name).read_bytes() == \
+                (scenario_dir / name).read_bytes(), name
+    assert (scenario_dir / "transfer-matrix.json").exists()
+    assert not (classic_dir / "transfer-matrix.json").exists()
+
+
+def test_matrix_final_rows_match_the_classic_triangle(fast_config,
+                                                      tiny_sequence):
+    config = fast_config.with_overrides(epochs=1,
+                                        scenario="class_incremental")
+    result, transfer = run_scenario_method("finetune", tiny_sequence, config,
+                                           seed=SEED)
+    # The lower triangle of the transfer matrix's final view IS the
+    # classic accuracy matrix: row i, columns 0..i.
+    for i in range(result.n_tasks):
+        np.testing.assert_array_equal(transfer.final[i, :i + 1],
+                                      result.accuracy_matrix[i, :i + 1])
+    # And the future columns were probed too (the classic path leaves
+    # them undefined).
+    assert np.isfinite(transfer.final).all()
+    assert np.isnan(result.accuracy_matrix[0, 1:]).all()

@@ -1,0 +1,143 @@
+"""Builder invariants for every scenario stream shape."""
+
+import numpy as np
+import pytest
+
+from repro.scenarios import (ScenarioStream, StreamSegment, blurry_stream,
+                             class_incremental_stream,
+                             domain_incremental_stream, long_sequence_stream,
+                             task_free_stream)
+
+
+def all_train_labels(stream: ScenarioStream) -> np.ndarray:
+    return np.concatenate([seg.task.train.y for seg in stream.segments])
+
+
+class TestScenarioStream:
+    def test_validation(self, tiny_sequence):
+        segments = class_incremental_stream(tiny_sequence).segments
+        with pytest.raises(ValueError, match="at least one segment"):
+            ScenarioStream("x", (), tuple(tiny_sequence))
+        with pytest.raises(ValueError, match="eval task"):
+            ScenarioStream("x", segments, ())
+        with pytest.raises(ValueError, match="boundary mode"):
+            ScenarioStream("x", segments, tuple(tiny_sequence),
+                           boundary_mode="fuzzy")
+        bad = (StreamSegment(0, tiny_sequence[0], eval_alias=7),)
+        with pytest.raises(ValueError, match="aliases"):
+            ScenarioStream("x", bad, tuple(tiny_sequence))
+
+    def test_iteration_and_shape(self, tiny_sequence):
+        stream = class_incremental_stream(tiny_sequence)
+        assert len(stream) == len(tiny_sequence)
+        assert [seg.index for seg in stream] == [0, 1, 2]
+        assert stream.sample_shape == tiny_sequence[0].train.x.shape[1:]
+
+
+class TestClassIncremental:
+    def test_identity_stream_shares_task_objects(self, tiny_sequence):
+        stream = class_incremental_stream(tiny_sequence)
+        for i, segment in enumerate(stream):
+            assert segment.task is tiny_sequence[i]
+            assert segment.source_task == i
+            assert segment.eval_alias == i
+        assert stream.boundary_mode == "sharp"
+        assert stream.eval_tasks == tuple(tiny_sequence)
+
+
+class TestBlurry:
+    def test_label_multiset_is_conserved(self, tiny_sequence):
+        stream = blurry_stream(tiny_sequence, ratio=0.3, seed=5)
+        base = np.concatenate([t.train.y for t in tiny_sequence])
+        np.testing.assert_array_equal(np.sort(all_train_labels(stream)),
+                                      np.sort(base))
+
+    def test_middle_tasks_gain_foreign_classes(self, tiny_sequence):
+        stream = blurry_stream(tiny_sequence, ratio=0.4, seed=5)
+        own = set(tiny_sequence[1].classes)
+        blurred = set(stream.segments[1].task.classes)
+        assert own < blurred  # neighbours donated other classes
+
+    def test_test_splits_stay_sharp(self, tiny_sequence):
+        stream = blurry_stream(tiny_sequence, ratio=0.5, seed=5)
+        for i, segment in enumerate(stream):
+            assert segment.task.test is tiny_sequence[i].test
+
+    def test_zero_ratio_keeps_data_identical(self, tiny_sequence):
+        stream = blurry_stream(tiny_sequence, ratio=0.0, seed=5)
+        for i, segment in enumerate(stream):
+            np.testing.assert_array_equal(segment.task.train.x,
+                                          tiny_sequence[i].train.x)
+
+    def test_ratio_validated(self, tiny_sequence):
+        with pytest.raises(ValueError, match="ratio"):
+            blurry_stream(tiny_sequence, ratio=1.0)
+
+
+class TestTaskFree:
+    def test_segment_count_and_conservation(self, tiny_sequence):
+        stream = task_free_stream(tiny_sequence, segments_per_task=3, seed=2)
+        assert len(stream) == 3 * len(tiny_sequence)
+        total = sum(len(t.train) for t in tiny_sequence)
+        assert sum(len(seg.task.train) for seg in stream) == total
+        assert all(len(seg.task.train) > 0 for seg in stream)
+
+    def test_boundary_mode_is_task_free(self, tiny_sequence):
+        stream = task_free_stream(tiny_sequence, segments_per_task=2, seed=2,
+                                  drift_threshold=0.9)
+        assert stream.boundary_mode == "task_free"
+        assert stream.drift_threshold == pytest.approx(0.9)
+
+    def test_majority_source_orders_with_the_stream(self, tiny_sequence):
+        stream = task_free_stream(tiny_sequence, segments_per_task=2, seed=2)
+        sources = [seg.source_task for seg in stream]
+        assert sources == sorted(sources)  # tasks arrive in order
+        assert set(sources) == set(range(len(tiny_sequence)))
+
+    def test_too_many_segments_rejected(self, tiny_sequence):
+        with pytest.raises(ValueError, match="segments"):
+            task_free_stream(tiny_sequence, segments_per_task=1000)
+
+
+class TestDomainIncremental:
+    def test_domain_zero_is_the_unshifted_reference(self, tiny_sequence):
+        stream = domain_incremental_stream(tiny_sequence, n_domains=3,
+                                           shift=0.8, seed=4)
+        assert len(stream) == 3
+        merged = tiny_sequence.merged_train
+        d0 = stream.segments[0].task.train
+        # Domain 0 applies no transform: its samples are merged samples.
+        rng = np.random.default_rng([4, 0x444F4D41, 0])
+        idx = rng.permutation(len(merged))[:len(merged) // 3]
+        np.testing.assert_array_equal(d0.x, merged.x[idx])
+
+    def test_domains_share_the_class_set_but_not_the_pixels(self, tiny_sequence):
+        stream = domain_incremental_stream(tiny_sequence, n_domains=3,
+                                           shift=0.8, seed=4)
+        classes = {seg.task.classes for seg in stream}
+        assert len(classes) == 1
+        assert not np.array_equal(stream.segments[0].task.train.x,
+                                  stream.segments[1].task.train.x)
+
+    def test_eval_panel_is_the_domain_tasks(self, tiny_sequence):
+        stream = domain_incremental_stream(tiny_sequence, n_domains=3, seed=4)
+        assert stream.eval_tasks == tuple(seg.task for seg in stream.segments)
+
+    def test_domain_count_validated(self, tiny_sequence):
+        with pytest.raises(ValueError, match="n_domains"):
+            domain_incremental_stream(tiny_sequence, n_domains=0)
+
+
+class TestLongSequence:
+    def test_cycles_revisit_base_tasks_without_copying(self, tiny_sequence):
+        stream = long_sequence_stream(tiny_sequence, cycles=7)
+        assert len(stream) == 21
+        for k, segment in enumerate(stream):
+            base = tiny_sequence[k % len(tiny_sequence)]
+            assert segment.task.train is base.train
+            assert segment.task.test is base.test
+            assert segment.source_task == k % len(tiny_sequence)
+
+    def test_cycles_validated(self, tiny_sequence):
+        with pytest.raises(ValueError, match="cycles"):
+            long_sequence_stream(tiny_sequence, cycles=0)

@@ -83,6 +83,54 @@ class TestCommands:
         assert [e["scenario"] for e in report["scenarios"]] == ["ckpt-io-error"]
 
 
+class TestScenarioFlags:
+    def test_run_parses_scenario_flags(self):
+        args = build_parser().parse_args([
+            "run", "edsr", "cifar10-like", "--scenario", "task_free",
+            "--segments-per-task", "2", "--drift-threshold", "0.9",
+            "--scenario-seed", "4"])
+        assert args.scenario == "task_free"
+        assert args.segments_per_task == 2
+        assert args.drift_threshold == 0.9
+        assert args.scenario_seed == 4
+
+    def test_rejects_unknown_scenario(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", "edsr", "cifar10-like", "--scenario", "nope"])
+
+    def test_list_shows_scenarios(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "task_free" in out and "blurry" in out
+
+    def test_scenario_run_writes_transfer_matrix(self, capsys, tmp_path):
+        output = tmp_path / "r.json"
+        code = main(["run", "finetune", "cifar10-like", "--epochs", "1",
+                     "--scenario", "blurry", "--output", str(output)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "transfer[blurry]" in out
+        transfer_path = tmp_path / "r-transfer.json"
+        assert transfer_path.exists()
+        payload = json.loads(transfer_path.read_text())
+        assert payload["scenario"] == "blurry"
+        assert payload["rows_recorded"] == payload["n_rows"] == 5
+        assert payload["summary"]["final_accuracy"] is not None
+        # The result JSON rides along unchanged.
+        assert json.loads(output.read_text())["n_tasks"] == 5
+
+    def test_transfer_output_flag_overrides_the_default_path(self, capsys,
+                                                             tmp_path):
+        transfer_path = tmp_path / "tm.json"
+        code = main(["run", "finetune", "cifar10-like", "--epochs", "1",
+                     "--scenario", "class_incremental",
+                     "--transfer-output", str(transfer_path)])
+        assert code == 0
+        assert transfer_path.exists()
+        assert "transfer matrix written to" in capsys.readouterr().out
+
+
 class TestFaultToleranceFlags:
     def test_run_parses_checkpoint_flags(self):
         args = build_parser().parse_args([
